@@ -1,0 +1,213 @@
+// Ablation benchmarks for the design choices DESIGN.md calls out: the
+// migrate-current-state vs checkpoint policy trade-off (paper §5.0's Condor
+// comparison), daemon vs direct message routing, ADM's inner-loop chunk
+// size (rapid response vs overhead), and the UPVM prototype's accept
+// mechanism vs a tuned one (the optimization the authors said was under
+// way).
+package repro_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"pvmigrate/internal/checkpoint"
+	"pvmigrate/internal/harness"
+	"pvmigrate/internal/sim"
+	"pvmigrate/internal/upvm"
+)
+
+// BenchmarkAblation_CheckpointVsMigrate compares the paper's
+// migrate-current-state policy against Condor-style periodic checkpointing
+// for the same evicted 300 s job: obtrusiveness, total completion, lost
+// work.
+func BenchmarkAblation_CheckpointVsMigrate(b *testing.B) {
+	evict := 150 * time.Second
+	b.Run("migrate-current-state", func(b *testing.B) {
+		var res checkpoint.Result
+		for i := 0; i < b.N; i++ {
+			var err error
+			res, err = checkpoint.RunMigrateCurrent(checkpoint.Params{}, evict)
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(res.Obtrusiveness.Seconds(), "obtrusiveness-vsec")
+		b.ReportMetric(res.Completion.Seconds(), "completion-vsec")
+		b.ReportMetric(res.LostWorkFlops/1e6, "lost-mflops")
+	})
+	for _, interval := range []time.Duration{20 * time.Second, time.Minute, 4 * time.Minute} {
+		b.Run(fmt.Sprintf("checkpoint-every-%s", interval), func(b *testing.B) {
+			var res checkpoint.Result
+			for i := 0; i < b.N; i++ {
+				var err error
+				res, err = checkpoint.RunCheckpointed(checkpoint.Params{Interval: interval}, evict)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(res.Obtrusiveness.Seconds(), "obtrusiveness-vsec")
+			b.ReportMetric(res.Completion.Seconds(), "completion-vsec")
+			b.ReportMetric(res.LostWorkFlops/1e6, "lost-mflops")
+		})
+	}
+}
+
+// BenchmarkAblation_DirectVsDaemonRoute measures the Opt quiet case under
+// the two PVM routing modes: every data message via the pvmds (default)
+// versus task-to-task TCP (PvmRouteDirect).
+func BenchmarkAblation_DirectVsDaemonRoute(b *testing.B) {
+	for _, direct := range []bool{false, true} {
+		name := "daemon-route"
+		if direct {
+			name = "direct-route"
+		}
+		b.Run(name, func(b *testing.B) {
+			var elapsed sim.Time
+			for i := 0; i < b.N; i++ {
+				out := harness.RunPVM(harness.Scenario{
+					TotalBytes: 600_000, Iterations: 4, Direct: direct,
+				})
+				if out.Err != nil {
+					b.Fatal(out.Err)
+				}
+				elapsed = out.Elapsed
+			}
+			b.ReportMetric(elapsed.Seconds(), "vsec")
+		})
+	}
+}
+
+// BenchmarkAblation_ADMChunkSize sweeps ADMopt's inner-loop granularity:
+// smaller chunks react to migration events faster (lower withdrawal cost)
+// but pay more flag checks; larger chunks are cheap but sluggish — the
+// paper's "rapid response" requirement made concrete.
+func BenchmarkAblation_ADMChunkSize(b *testing.B) {
+	for _, chunk := range []int{25, 100, 400, 1600} {
+		b.Run(fmt.Sprintf("chunk-%d", chunk), func(b *testing.B) {
+			var cost, quiet float64
+			for i := 0; i < b.N; i++ {
+				out := harness.RunADM(harness.Scenario{
+					TotalBytes: 4_200_000, Iterations: 8,
+					MigrateAt: 6 * time.Second, ADMChunk: chunk,
+				})
+				if out.Err != nil {
+					b.Fatal(out.Err)
+				}
+				if len(out.Records) != 1 {
+					b.Fatalf("withdrawals = %d", len(out.Records))
+				}
+				cost = out.Records[0].Cost().Seconds()
+				quiet = out.Elapsed.Seconds()
+			}
+			b.ReportMetric(cost, "withdrawal-vsec")
+			b.ReportMetric(quiet, "runtime-vsec")
+		})
+	}
+}
+
+// BenchmarkAblation_UPVMAcceptTuned contrasts the measured 1994 prototype
+// (slow pkbyte transfer, very slow accept) with a tuned implementation that
+// moves ULP state at wire speed and accepts at memory speed — what the
+// authors' in-progress optimization could have achieved.
+func BenchmarkAblation_UPVMAcceptTuned(b *testing.B) {
+	configs := map[string]*upvm.Config{
+		"prototype-1994": nil, // fitted defaults
+		"tuned": {
+			XferBps:   950e3, // wire-limited, like MPVM's transfer
+			AcceptBps: 12e6,  // memory-copy placement
+		},
+	}
+	for name, cfg := range configs {
+		b.Run(name, func(b *testing.B) {
+			var obtr, cost float64
+			for i := 0; i < b.N; i++ {
+				out := harness.RunUPVM(harness.Scenario{
+					TotalBytes: 600_000, Iterations: 6,
+					MigrateAt: 2 * time.Second, MigrateTo: 0,
+					UPVM: cfg,
+				})
+				if out.Err != nil {
+					b.Fatal(out.Err)
+				}
+				if len(out.Records) != 1 {
+					b.Fatalf("migrations = %d", len(out.Records))
+				}
+				obtr = out.Records[0].Obtrusiveness().Seconds()
+				cost = out.Records[0].Cost().Seconds()
+			}
+			b.ReportMetric(obtr, "obtrusiveness-vsec")
+			b.ReportMetric(cost, "migration-vsec")
+		})
+	}
+}
+
+// BenchmarkExtension_Granularity quantifies §3.4's qualitative claim: with
+// one host at half speed, UPVM's six ULPs placed 4:2 beat MPVM's two
+// evenly-split processes by ~1.5x, because finer work units can match the
+// effective speed ratio.
+func BenchmarkExtension_Granularity(b *testing.B) {
+	var res harness.GranularityResult
+	for i := 0; i < b.N; i++ {
+		res = harness.GranularityExperiment()
+	}
+	b.ReportMetric(res.MPVMCoarse.Seconds(), "mpvm-2vp-vsec")
+	b.ReportMetric(res.UPVMFine.Seconds(), "upvm-6ulp-vsec")
+	b.ReportMetric(float64(res.MPVMCoarse)/float64(res.UPVMFine), "speedup")
+}
+
+// BenchmarkExtension_MigrationUnderCrossTraffic measures how shared-Ethernet
+// contention (the paper's "network bandwidth fluctuates") stretches MPVM
+// migration: the state transfer competes with background frames.
+func BenchmarkExtension_MigrationUnderCrossTraffic(b *testing.B) {
+	for _, u := range []float64{0, 0.3, 0.6} {
+		b.Run(fmt.Sprintf("wire-%.0f%%-busy", u*100), func(b *testing.B) {
+			var obtr float64
+			for i := 0; i < b.N; i++ {
+				out := harness.RunMPVM(harness.Scenario{
+					TotalBytes: 4_200_000, Iterations: 10,
+					MigrateAt: 8 * time.Second, MigrateTo: 0,
+					CrossTraffic: u,
+				})
+				if out.Err != nil {
+					b.Fatal(out.Err)
+				}
+				if len(out.Records) != 1 {
+					b.Fatalf("migrations = %d", len(out.Records))
+				}
+				obtr = out.Records[0].Obtrusiveness().Seconds()
+			}
+			b.ReportMetric(obtr, "obtrusiveness-vsec")
+		})
+	}
+}
+
+// BenchmarkExtension_ADMRebalance quantifies ADM's load-balancing accuracy
+// (§3.4.3): one power-weighted repartition on a half-speed host recovers
+// most of the granularity speedup without moving any process.
+func BenchmarkExtension_ADMRebalance(b *testing.B) {
+	load := map[int]int{1: 1}
+	for _, rebalance := range []bool{false, true} {
+		name := "static-even-split"
+		if rebalance {
+			name = "rebalanced-at-8s"
+		}
+		b.Run(name, func(b *testing.B) {
+			var elapsed sim.Time
+			for i := 0; i < b.N; i++ {
+				sc := harness.Scenario{TotalBytes: 4_200_000, Iterations: 8, BackgroundLoad: load}
+				if rebalance {
+					sc.MigrateAt = 8 * time.Second
+					sc.MigrateSlave = 1
+					sc.ADMRebalance = true
+				}
+				out := harness.RunADM(sc)
+				if out.Err != nil {
+					b.Fatal(out.Err)
+				}
+				elapsed = out.Elapsed
+			}
+			b.ReportMetric(elapsed.Seconds(), "vsec")
+		})
+	}
+}

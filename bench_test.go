@@ -1,0 +1,263 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// (§4.0). Each benchmark runs the full discrete-event experiment and
+// reports the paper's measured quantity as a custom metric in *virtual*
+// seconds (vsec): the simulated 1994 testbed time, not host wall time.
+//
+//	go test -bench=. -benchmem
+//
+// The same experiments, with paper-vs-measured tables, print via
+// `go run ./cmd/migrate-bench`.
+package repro_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"pvmigrate/internal/harness"
+	"pvmigrate/internal/sim"
+)
+
+// BenchmarkTable1_MPVMOverhead reproduces Table 1: PVM vs MPVM quiet-case
+// runtime on the 9 MB training set (paper: 198 s vs 198 s).
+func BenchmarkTable1_MPVMOverhead(b *testing.B) {
+	for _, system := range []string{"PVM", "MPVM"} {
+		b.Run(system, func(b *testing.B) {
+			var elapsed sim.Time
+			for i := 0; i < b.N; i++ {
+				var out *harness.Outcome
+				if system == "PVM" {
+					out = harness.RunPVM(harness.Table1Scenario)
+				} else {
+					out = harness.RunMPVM(harness.Table1Scenario)
+				}
+				if out.Err != nil {
+					b.Fatal(out.Err)
+				}
+				elapsed = out.Elapsed
+			}
+			b.ReportMetric(elapsed.Seconds(), "vsec")
+		})
+	}
+}
+
+// BenchmarkTable2_MPVMMigration reproduces Table 2: raw TCP, obtrusiveness
+// and migration cost for migrating an Opt slave, across training-set sizes.
+func BenchmarkTable2_MPVMMigration(b *testing.B) {
+	for _, total := range harness.Table2Sizes {
+		b.Run(fmt.Sprintf("%.1fMB", float64(total)/1e6), func(b *testing.B) {
+			var raw, obtr, cost float64
+			for i := 0; i < b.N; i++ {
+				raw = harness.RawTCP(total / 2).Seconds()
+				out := harness.RunMPVM(harness.Scenario{
+					TotalBytes: total,
+					Iterations: 8,
+					MigrateAt:  sim.FromSeconds(3 + float64(total/2)/1.0e6),
+					MigrateTo:  0,
+				})
+				if out.Err != nil {
+					b.Fatal(out.Err)
+				}
+				if len(out.Records) != 1 {
+					b.Fatalf("migrations = %d", len(out.Records))
+				}
+				obtr = out.Records[0].Obtrusiveness().Seconds()
+				cost = out.Records[0].Cost().Seconds()
+			}
+			b.ReportMetric(raw, "rawTCP-vsec")
+			b.ReportMetric(obtr, "obtrusiveness-vsec")
+			b.ReportMetric(cost, "migration-vsec")
+		})
+	}
+}
+
+// BenchmarkTable3_UPVMOverhead reproduces Table 3: PVM vs UPVM quiet-case
+// runtime for SPMD_opt on 0.6 MB (paper: 4.92 s vs 4.75 s).
+func BenchmarkTable3_UPVMOverhead(b *testing.B) {
+	for _, system := range []string{"PVM", "UPVM"} {
+		b.Run(system, func(b *testing.B) {
+			var elapsed sim.Time
+			for i := 0; i < b.N; i++ {
+				var out *harness.Outcome
+				if system == "PVM" {
+					out = harness.RunPVM(harness.Table3Scenario)
+				} else {
+					out = harness.RunUPVM(harness.Table3Scenario)
+				}
+				if out.Err != nil {
+					b.Fatal(out.Err)
+				}
+				elapsed = out.Elapsed
+			}
+			b.ReportMetric(elapsed.Seconds(), "vsec")
+		})
+	}
+}
+
+// BenchmarkTable4_UPVMMigration reproduces Table 4: ULP obtrusiveness and
+// migration cost at 0.6 MB (paper: 1.67 s, 6.88 s).
+func BenchmarkTable4_UPVMMigration(b *testing.B) {
+	var obtr, cost float64
+	for i := 0; i < b.N; i++ {
+		out := harness.RunUPVM(harness.Scenario{
+			TotalBytes: 600_000,
+			Iterations: 6,
+			MigrateAt:  2 * time.Second,
+			MigrateTo:  0,
+		})
+		if out.Err != nil {
+			b.Fatal(out.Err)
+		}
+		if len(out.Records) != 1 {
+			b.Fatalf("migrations = %d", len(out.Records))
+		}
+		obtr = out.Records[0].Obtrusiveness().Seconds()
+		cost = out.Records[0].Cost().Seconds()
+	}
+	b.ReportMetric(obtr, "obtrusiveness-vsec")
+	b.ReportMetric(cost, "migration-vsec")
+}
+
+// BenchmarkTable4x_UPVMMigrationSweep extends Table 4 across all Table 2
+// sizes — the "full results" the paper promised for its final version.
+func BenchmarkTable4x_UPVMMigrationSweep(b *testing.B) {
+	for _, total := range harness.Table2Sizes {
+		b.Run(fmt.Sprintf("%.1fMB", float64(total)/1e6), func(b *testing.B) {
+			var obtr, cost float64
+			for i := 0; i < b.N; i++ {
+				out := harness.RunUPVM(harness.Scenario{
+					TotalBytes: total,
+					Iterations: 10,
+					MigrateAt:  sim.FromSeconds(3 + float64(total/2)/1.0e6),
+					MigrateTo:  0,
+				})
+				if out.Err != nil {
+					b.Fatal(out.Err)
+				}
+				if len(out.Records) != 1 {
+					b.Fatalf("migrations = %d", len(out.Records))
+				}
+				obtr = out.Records[0].Obtrusiveness().Seconds()
+				cost = out.Records[0].Cost().Seconds()
+			}
+			b.ReportMetric(obtr, "obtrusiveness-vsec")
+			b.ReportMetric(cost, "migration-vsec")
+		})
+	}
+}
+
+// BenchmarkTable5_ADMOverhead reproduces Table 5: PVM_opt vs ADMopt quiet
+// case (paper: 188 s vs 232 s, ~23% overhead).
+func BenchmarkTable5_ADMOverhead(b *testing.B) {
+	for _, system := range []string{"PVM_opt", "ADMopt"} {
+		b.Run(system, func(b *testing.B) {
+			var elapsed sim.Time
+			for i := 0; i < b.N; i++ {
+				var out *harness.Outcome
+				if system == "PVM_opt" {
+					out = harness.RunPVM(harness.Table1Scenario)
+				} else {
+					out = harness.RunADM(harness.Table1Scenario)
+				}
+				if out.Err != nil {
+					b.Fatal(out.Err)
+				}
+				elapsed = out.Elapsed
+			}
+			b.ReportMetric(elapsed.Seconds(), "vsec")
+		})
+	}
+}
+
+// BenchmarkTable6_ADMMigration reproduces Table 6: ADMopt redistribution
+// cost (obtrusiveness = migration time) across training-set sizes.
+func BenchmarkTable6_ADMMigration(b *testing.B) {
+	for _, total := range harness.Table2Sizes {
+		b.Run(fmt.Sprintf("%.1fMB", float64(total)/1e6), func(b *testing.B) {
+			var cost float64
+			for i := 0; i < b.N; i++ {
+				out := harness.RunADM(harness.Scenario{
+					TotalBytes: total,
+					Iterations: 8,
+					MigrateAt:  sim.FromSeconds(3 + float64(total/2)/1.0e6),
+				})
+				if out.Err != nil {
+					b.Fatal(out.Err)
+				}
+				if len(out.Records) != 1 {
+					b.Fatalf("withdrawals = %d", len(out.Records))
+				}
+				cost = out.Records[0].Cost().Seconds()
+			}
+			b.ReportMetric(cost, "migration-vsec")
+		})
+	}
+}
+
+// BenchmarkFigure1_MPVMStages reproduces Figure 1: the four-stage MPVM
+// migration protocol, as a traced timeline. The reported metric is the
+// stage count observed (8 sub-stages across the 4 stages).
+func BenchmarkFigure1_MPVMStages(b *testing.B) {
+	var stages int
+	for i := 0; i < b.N; i++ {
+		log, out := harness.TraceMPVMMigration(harness.Scenario{
+			TotalBytes: 600_000, Iterations: 6,
+			MigrateAt: 2 * time.Second, MigrateTo: 0,
+		})
+		if out.Err != nil {
+			b.Fatal(out.Err)
+		}
+		stages = len(log.Stages())
+	}
+	b.ReportMetric(float64(stages), "stages")
+}
+
+// BenchmarkFigure2_AddressSpaceLayout reproduces Figure 2: the globally
+// unique ULP address regions of a 5-ULP, 3-process application.
+func BenchmarkFigure2_AddressSpaceLayout(b *testing.B) {
+	var n int
+	for i := 0; i < b.N; i++ {
+		layout, err := harness.Figure2Layout(harness.Scenario{
+			TotalBytes: 600_000, Slaves: 4, Hosts: 3,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		n = len(layout)
+	}
+	b.ReportMetric(float64(n), "layout-bytes")
+}
+
+// BenchmarkFigure3_UPVMStages reproduces Figure 3: the UPVM ULP migration
+// stages, as a traced timeline.
+func BenchmarkFigure3_UPVMStages(b *testing.B) {
+	var stages int
+	for i := 0; i < b.N; i++ {
+		log, out := harness.TraceUPVMMigration(harness.Scenario{
+			TotalBytes: 600_000, Iterations: 6,
+			MigrateAt: 2 * time.Second, MigrateTo: 0,
+		})
+		if out.Err != nil {
+			b.Fatal(out.Err)
+		}
+		stages = len(log.Stages())
+	}
+	b.ReportMetric(float64(stages), "stages")
+}
+
+// BenchmarkFigure4_ADMStateMachine reproduces Figure 4: a full ADMopt run
+// driven by the finite-state machine, including one withdrawal.
+func BenchmarkFigure4_ADMStateMachine(b *testing.B) {
+	var redist float64
+	for i := 0; i < b.N; i++ {
+		out := harness.RunADM(harness.Scenario{
+			TotalBytes: 600_000, Iterations: 6,
+			MigrateAt: 4 * time.Second,
+		})
+		if out.Err != nil {
+			b.Fatal(out.Err)
+		}
+		redist = float64(len(out.Records))
+	}
+	b.ReportMetric(redist, "withdrawals")
+}

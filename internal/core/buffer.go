@@ -1,0 +1,203 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Buffer is a PVM message buffer: a sequence of typed items packed by the
+// sender and unpacked in the same order by the receiver (pvm_pkint,
+// pvm_pkdouble, pvm_pkbyte, ... in the original API). Two kinds of payload
+// coexist:
+//
+//   - real values (ints, floats, byte slices, strings), carried verbatim so
+//     correctness tests can check end-to-end data integrity; and
+//   - virtual bytes (PkVirtual), which stand in for bulk data whose content
+//     is irrelevant to the simulation — only its size matters for wire and
+//     copy time. The Opt benchmarks move training sets as virtual bytes.
+//
+// Byte accounting follows XDR-ish encoding: 4 bytes per int32-sized int,
+// 8 per float64, 1 per byte, length-prefixed strings.
+type Buffer struct {
+	items []item
+	bytes int
+}
+
+type itemKind int
+
+const (
+	kindInt itemKind = iota
+	kindFloat64s
+	kindBytes
+	kindString
+	kindVirtual
+	kindBuffer
+)
+
+func (k itemKind) String() string {
+	switch k {
+	case kindInt:
+		return "int"
+	case kindFloat64s:
+		return "float64s"
+	case kindBytes:
+		return "bytes"
+	case kindString:
+		return "string"
+	case kindVirtual:
+		return "virtual"
+	case kindBuffer:
+		return "buffer"
+	}
+	return "?"
+}
+
+type item struct {
+	kind    itemKind
+	i       int
+	floats  []float64
+	bytes   []byte
+	str     string
+	virtual int
+	buf     *Buffer
+}
+
+// ErrBufferType is returned when an Upk call does not match the packed
+// item's type.
+var ErrBufferType = errors.New("core: unpack type mismatch")
+
+// ErrBufferEmpty is returned when unpacking past the last item.
+var ErrBufferEmpty = errors.New("core: unpack past end of buffer")
+
+// NewBuffer returns an empty message buffer (pvm_initsend).
+func NewBuffer() *Buffer { return &Buffer{} }
+
+// Bytes returns the encoded size of the buffer in bytes; this is the number
+// that drives wire time and copy costs.
+func (b *Buffer) Bytes() int { return b.bytes }
+
+// Items returns the number of packed items.
+func (b *Buffer) Items() int { return len(b.items) }
+
+// PkInt appends one integer (4 encoded bytes).
+func (b *Buffer) PkInt(v int) *Buffer {
+	b.items = append(b.items, item{kind: kindInt, i: v})
+	b.bytes += 4
+	return b
+}
+
+// PkFloat64s appends a vector of float64s (8 bytes each + 4-byte count).
+// The slice is carried by reference; callers must not mutate it afterwards.
+func (b *Buffer) PkFloat64s(v []float64) *Buffer {
+	b.items = append(b.items, item{kind: kindFloat64s, floats: v})
+	b.bytes += 8*len(v) + 4
+	return b
+}
+
+// PkBytes appends a byte slice (1 byte each + 4-byte count). Carried by
+// reference.
+func (b *Buffer) PkBytes(v []byte) *Buffer {
+	b.items = append(b.items, item{kind: kindBytes, bytes: v})
+	b.bytes += len(v) + 4
+	return b
+}
+
+// PkString appends a string (length-prefixed).
+func (b *Buffer) PkString(s string) *Buffer {
+	b.items = append(b.items, item{kind: kindString, str: s})
+	b.bytes += len(s) + 4
+	return b
+}
+
+// PkVirtual appends n virtual bytes: size-only bulk payload.
+func (b *Buffer) PkVirtual(n int) *Buffer {
+	if n < 0 {
+		panic("core: negative virtual size")
+	}
+	b.items = append(b.items, item{kind: kindVirtual, virtual: n})
+	b.bytes += n
+	return b
+}
+
+// PkBuffer nests another message buffer (the UPVM library wraps an
+// application message plus its own routing header into one process-level
+// PVM message this way). The inner buffer is carried by reference.
+func (b *Buffer) PkBuffer(inner *Buffer) *Buffer {
+	b.items = append(b.items, item{kind: kindBuffer, buf: inner})
+	b.bytes += inner.Bytes() + 4
+	return b
+}
+
+// Reader returns a fresh cursor over the buffer. Multiple readers (e.g. the
+// recipients of a broadcast) can unpack the same buffer independently.
+func (b *Buffer) Reader() *Reader { return &Reader{buf: b} }
+
+// Reader unpacks items from a Buffer in packed order.
+type Reader struct {
+	buf *Buffer
+	pos int
+}
+
+func (r *Reader) next(want itemKind) (item, error) {
+	if r.pos >= len(r.buf.items) {
+		return item{}, ErrBufferEmpty
+	}
+	it := r.buf.items[r.pos]
+	if it.kind != want {
+		return item{}, fmt.Errorf("%w: have %v, want %v at item %d",
+			ErrBufferType, it.kind, want, r.pos)
+	}
+	r.pos++
+	return it, nil
+}
+
+// Remaining returns the number of items not yet unpacked.
+func (r *Reader) Remaining() int { return len(r.buf.items) - r.pos }
+
+// Bytes returns the total encoded size of the underlying buffer.
+func (r *Reader) Bytes() int { return r.buf.Bytes() }
+
+// UpkInt unpacks one integer.
+func (r *Reader) UpkInt() (int, error) {
+	it, err := r.next(kindInt)
+	return it.i, err
+}
+
+// UpkFloat64s unpacks a float64 vector.
+func (r *Reader) UpkFloat64s() ([]float64, error) {
+	it, err := r.next(kindFloat64s)
+	return it.floats, err
+}
+
+// UpkBytes unpacks a byte slice.
+func (r *Reader) UpkBytes() ([]byte, error) {
+	it, err := r.next(kindBytes)
+	return it.bytes, err
+}
+
+// UpkString unpacks a string.
+func (r *Reader) UpkString() (string, error) {
+	it, err := r.next(kindString)
+	return it.str, err
+}
+
+// UpkVirtual unpacks a virtual-bytes item, returning its size.
+func (r *Reader) UpkVirtual() (int, error) {
+	it, err := r.next(kindVirtual)
+	return it.virtual, err
+}
+
+// UpkBuffer unpacks a nested message buffer.
+func (r *Reader) UpkBuffer() (*Buffer, error) {
+	it, err := r.next(kindBuffer)
+	return it.buf, err
+}
+
+// MustInt is UpkInt that panics on error; for tests and compact examples.
+func (r *Reader) MustInt() int {
+	v, err := r.UpkInt()
+	if err != nil {
+		panic(err)
+	}
+	return v
+}

@@ -1,0 +1,210 @@
+package core
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestTIDEncoding(t *testing.T) {
+	for _, c := range []struct{ host, local int }{
+		{0, 1}, {0, 0}, {3, 7}, {15, 262143},
+	} {
+		tid := MakeTID(c.host, c.local)
+		if tid.Host() != c.host || tid.Local() != c.local {
+			t.Fatalf("MakeTID(%d,%d) round trip = (%d,%d)",
+				c.host, c.local, tid.Host(), tid.Local())
+		}
+		if !tid.Valid() {
+			t.Fatalf("tid %v not valid", tid)
+		}
+	}
+}
+
+func TestTIDDaemon(t *testing.T) {
+	d := DaemonTID(2)
+	if !d.IsDaemon() || d.Host() != 2 {
+		t.Fatalf("DaemonTID(2) = %v", d)
+	}
+	if MakeTID(2, 5).IsDaemon() {
+		t.Fatal("task tid claims to be daemon")
+	}
+	if NoTID.IsDaemon() || AnyTID.IsDaemon() {
+		t.Fatal("sentinel tids claim to be daemons")
+	}
+}
+
+func TestTIDStrings(t *testing.T) {
+	cases := map[TID]string{
+		NoTID:         "t-none",
+		AnyTID:        "t-any",
+		DaemonTID(1):  "pvmd1",
+		MakeTID(1, 2): "t1/2",
+	}
+	for tid, want := range cases {
+		if got := tid.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(tid), got, want)
+		}
+	}
+}
+
+func TestTIDPanicsOnBadParts(t *testing.T) {
+	for _, c := range []struct{ host, local int }{
+		{-1, 0}, {0, -1}, {0, 1 << 18},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("MakeTID(%d,%d) did not panic", c.host, c.local)
+				}
+			}()
+			MakeTID(c.host, c.local)
+		}()
+	}
+}
+
+func TestPropTIDRoundTrip(t *testing.T) {
+	f := func(h uint8, l uint16) bool {
+		tid := MakeTID(int(h), int(l))
+		return tid.Host() == int(h) && tid.Local() == int(l)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropTIDUnique(t *testing.T) {
+	f := func(h1, h2 uint8, l1, l2 uint16) bool {
+		t1, t2 := MakeTID(int(h1), int(l1)), MakeTID(int(h2), int(l2))
+		same := h1 == h2 && l1 == l2
+		return (t1 == t2) == same
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBufferPackUnpackIdentity(t *testing.T) {
+	b := NewBuffer()
+	b.PkInt(42).
+		PkFloat64s([]float64{1.5, -2.25, 3}).
+		PkBytes([]byte("abc")).
+		PkString("hello").
+		PkVirtual(1000)
+	r := b.Reader()
+	if v, err := r.UpkInt(); err != nil || v != 42 {
+		t.Fatalf("UpkInt = %d, %v", v, err)
+	}
+	if v, err := r.UpkFloat64s(); err != nil || len(v) != 3 || v[1] != -2.25 {
+		t.Fatalf("UpkFloat64s = %v, %v", v, err)
+	}
+	if v, err := r.UpkBytes(); err != nil || string(v) != "abc" {
+		t.Fatalf("UpkBytes = %q, %v", v, err)
+	}
+	if v, err := r.UpkString(); err != nil || v != "hello" {
+		t.Fatalf("UpkString = %q, %v", v, err)
+	}
+	if v, err := r.UpkVirtual(); err != nil || v != 1000 {
+		t.Fatalf("UpkVirtual = %d, %v", v, err)
+	}
+	if r.Remaining() != 0 {
+		t.Fatalf("Remaining = %d", r.Remaining())
+	}
+}
+
+func TestBufferByteAccounting(t *testing.T) {
+	b := NewBuffer()
+	if b.Bytes() != 0 {
+		t.Fatal("fresh buffer not empty")
+	}
+	b.PkInt(1)                        // 4
+	b.PkFloat64s(make([]float64, 10)) // 84
+	b.PkBytes(make([]byte, 7))        // 11
+	b.PkString("xy")                  // 6
+	b.PkVirtual(100)                  // 100
+	if b.Bytes() != 4+84+11+6+100 {
+		t.Fatalf("Bytes = %d, want 205", b.Bytes())
+	}
+}
+
+func TestBufferTypeMismatch(t *testing.T) {
+	b := NewBuffer().PkInt(1)
+	r := b.Reader()
+	if _, err := r.UpkString(); !errors.Is(err, ErrBufferType) {
+		t.Fatalf("err = %v", err)
+	}
+	// The mismatching item is not consumed.
+	if v, err := r.UpkInt(); err != nil || v != 1 {
+		t.Fatalf("after mismatch: %d, %v", v, err)
+	}
+}
+
+func TestBufferPastEnd(t *testing.T) {
+	r := NewBuffer().Reader()
+	if _, err := r.UpkInt(); !errors.Is(err, ErrBufferEmpty) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestBufferIndependentReaders(t *testing.T) {
+	b := NewBuffer().PkInt(1).PkInt(2)
+	r1, r2 := b.Reader(), b.Reader()
+	if r1.MustInt() != 1 || r2.MustInt() != 1 {
+		t.Fatal("readers not independent")
+	}
+	if r1.MustInt() != 2 {
+		t.Fatal("reader 1 lost position")
+	}
+}
+
+func TestPropBufferRoundTrip(t *testing.T) {
+	f := func(ints []int16, floats []float64, blob []byte, s string, virt uint16) bool {
+		b := NewBuffer()
+		for _, v := range ints {
+			b.PkInt(int(v))
+		}
+		b.PkFloat64s(floats).PkBytes(blob).PkString(s).PkVirtual(int(virt))
+		r := b.Reader()
+		for _, v := range ints {
+			got, err := r.UpkInt()
+			if err != nil || got != int(v) {
+				return false
+			}
+		}
+		f2, err := r.UpkFloat64s()
+		if err != nil || len(f2) != len(floats) {
+			return false
+		}
+		for i := range floats {
+			if f2[i] != floats[i] && !(floats[i] != floats[i]) { // NaN-tolerant
+				return false
+			}
+		}
+		b2, err := r.UpkBytes()
+		if err != nil || string(b2) != string(blob) {
+			return false
+		}
+		s2, err := r.UpkString()
+		if err != nil || s2 != s {
+			return false
+		}
+		v2, err := r.UpkVirtual()
+		if err != nil || v2 != int(virt) {
+			return false
+		}
+		return r.Remaining() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMigrationRecordMeasures(t *testing.T) {
+	r := MigrationRecord{Start: 100, OffSource: 350, Reintegrated: 600}
+	if r.Obtrusiveness() != 250 {
+		t.Fatalf("obtrusiveness = %v", r.Obtrusiveness())
+	}
+	if r.Cost() != 500 {
+		t.Fatalf("cost = %v", r.Cost())
+	}
+}

@@ -1,0 +1,68 @@
+package core
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestPkBufferRoundTrip(t *testing.T) {
+	inner := NewBuffer().PkInt(7).PkString("payload")
+	outer := NewBuffer().PkInt(1).PkBuffer(inner).PkInt(2)
+	if outer.Bytes() != 4+(inner.Bytes()+4)+4 {
+		t.Fatalf("outer bytes = %d", outer.Bytes())
+	}
+	r := outer.Reader()
+	if r.MustInt() != 1 {
+		t.Fatal("prefix lost")
+	}
+	got, err := r.UpkBuffer()
+	if err != nil || got != inner {
+		t.Fatalf("UpkBuffer = %v, %v", got, err)
+	}
+	ir := got.Reader()
+	if ir.MustInt() != 7 {
+		t.Fatal("inner content lost")
+	}
+	if r.MustInt() != 2 {
+		t.Fatal("suffix lost")
+	}
+}
+
+func TestBufferItemsAndReaderBytes(t *testing.T) {
+	b := NewBuffer().PkInt(1).PkVirtual(100)
+	if b.Items() != 2 {
+		t.Fatalf("Items = %d", b.Items())
+	}
+	r := b.Reader()
+	if r.Bytes() != b.Bytes() {
+		t.Fatalf("reader bytes = %d", r.Bytes())
+	}
+	if r.Remaining() != 2 {
+		t.Fatalf("Remaining = %d", r.Remaining())
+	}
+}
+
+func TestUpkBufferTypeMismatch(t *testing.T) {
+	r := NewBuffer().PkInt(1).Reader()
+	if _, err := r.UpkBuffer(); !errors.Is(err, ErrBufferType) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestMustIntPanicsPastEnd(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustInt past end did not panic")
+		}
+	}()
+	NewBuffer().Reader().MustInt()
+}
+
+func TestPkVirtualNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative virtual size accepted")
+		}
+	}()
+	NewBuffer().PkVirtual(-1)
+}

@@ -1,0 +1,67 @@
+// Package core holds the vocabulary shared by every layer of the
+// reproduction: task identifiers (tids), typed message buffers with
+// PVM-style pack/unpack, the virtual-processor interface that the Opt
+// application is written against (so the same application code runs under
+// plain PVM, MPVM and UPVM), and migration-event types.
+package core
+
+import "fmt"
+
+// TID is a PVM task identifier. As in real PVM, a tid encodes the host the
+// task was started on plus a host-local index, and is the endpoint name for
+// task-to-task communication. After an MPVM migration a process has a *new*
+// tid; the run-time library remaps old tids to new ones transparently
+// (paper §2.1 stage 4, §4.1.1).
+type TID int
+
+// NoTID is the invalid/zero tid.
+const NoTID TID = 0
+
+// AnyTID is the wildcard source for Recv (matches any sender), like pvm's -1.
+const AnyTID TID = -1
+
+// AnyTag is the wildcard message tag.
+const AnyTag = -1
+
+const localBits = 18
+const localMask = (1 << localBits) - 1
+
+// MakeTID builds a tid from a host index (0-based) and a host-local task
+// number (1-based for tasks; 0 denotes the host's daemon).
+func MakeTID(host, local int) TID {
+	if host < 0 || local < 0 || local > localMask {
+		panic(fmt.Sprintf("core: invalid tid parts host=%d local=%d", host, local))
+	}
+	return TID((host+1)<<localBits | local)
+}
+
+// DaemonTID returns the tid that names the pvmd on a host.
+func DaemonTID(host int) TID { return MakeTID(host, 0) }
+
+// Host returns the 0-based host index encoded in the tid.
+func (t TID) Host() int { return int(t)>>localBits - 1 }
+
+// Local returns the host-local task number.
+func (t TID) Local() int { return int(t) & localMask }
+
+// IsDaemon reports whether the tid names a pvmd.
+func (t TID) IsDaemon() bool { return t > 0 && t.Local() == 0 }
+
+// Valid reports whether the tid is a concrete (non-wildcard, non-zero) id.
+func (t TID) Valid() bool { return t > 0 }
+
+// String formats like "t3/7" (host 3, local 7) or "pvmd3".
+func (t TID) String() string {
+	switch {
+	case t == NoTID:
+		return "t-none"
+	case t == AnyTID:
+		return "t-any"
+	case t < 0:
+		return fmt.Sprintf("t-bad(%d)", int(t))
+	case t.IsDaemon():
+		return fmt.Sprintf("pvmd%d", t.Host())
+	default:
+		return fmt.Sprintf("t%d/%d", t.Host(), t.Local())
+	}
+}

@@ -1,0 +1,84 @@
+package core
+
+import (
+	"pvmigrate/internal/cluster"
+	"pvmigrate/internal/sim"
+)
+
+// VP is the virtual-processor interface the application code in this
+// repository is written against. The paper's three systems provide VPs of
+// different weights:
+//
+//   - plain PVM and MPVM: a VP is a (simulated) Unix process (pvm.Task);
+//   - UPVM: a VP is a User Level Process, many per Unix process (upvm.ULP).
+//
+// Writing the Opt application against this interface mirrors the paper's
+// claim that MPVM and UPVM are source-code compatible with PVM: the same
+// application source is "re-compiled and re-linked" — here, instantiated —
+// against each system.
+type VP interface {
+	// Mytid returns the VP's current task identifier. Note that under MPVM
+	// the tid changes on migration; application code should treat tids it
+	// received earlier as stable names (the library remaps them).
+	Mytid() TID
+	// Proc returns the underlying simulation proc (the VP's thread of
+	// control).
+	Proc() *sim.Proc
+	// Host returns the workstation the VP currently executes on.
+	Host() *cluster.Host
+
+	// Send packs buf to dst with the given tag (pvm_send after pvm_pk*).
+	// The buffer must not be modified after Send.
+	Send(dst TID, tag int, buf *Buffer) error
+	// Recv blocks until a message matching src and tag arrives (wildcards:
+	// AnyTID, AnyTag) and returns the sender tid, tag, and a reader.
+	Recv(src TID, tag int) (TID, int, *Reader, error)
+	// NRecv is the non-blocking probe-and-receive (pvm_nrecv): ok is false
+	// when no matching message is queued.
+	NRecv(src TID, tag int) (TID, int, *Reader, bool, error)
+
+	// Compute executes the given floating-point work on the VP's current
+	// host, transparently surviving migrations: if the VP migrates during
+	// the call, the remaining work continues on the new host.
+	Compute(flops float64) error
+}
+
+// MigrationReason classifies why the global scheduler ordered a migration.
+type MigrationReason string
+
+// Migration trigger causes (paper §2.1 stage 1).
+const (
+	ReasonOwnerReclaim MigrationReason = "owner-reclaim"
+	ReasonHighLoad     MigrationReason = "high-load"
+	ReasonRebalance    MigrationReason = "rebalance"
+	ReasonManual       MigrationReason = "manual"
+)
+
+// MigrationOrder is the command the global scheduler sends to a daemon:
+// move this VP from its current host to Dest.
+type MigrationOrder struct {
+	VP     TID
+	Dest   int // destination host index
+	Reason MigrationReason
+}
+
+// MigrationRecord summarizes one completed migration, with the timestamps
+// that the paper's three performance measures are computed from (§4.0):
+// obtrusiveness = OffSource − Start, migration cost = Reintegrated − Start.
+type MigrationRecord struct {
+	VP           TID
+	NewTID       TID
+	From         int
+	To           int
+	Reason       MigrationReason
+	Start        sim.Time // migration event received
+	OffSource    sim.Time // all state off the source host
+	Reintegrated sim.Time // VP participating in the computation again
+	StateBytes   int      // VP state transferred
+}
+
+// Obtrusiveness returns the paper's obtrusiveness measure for the record.
+func (r MigrationRecord) Obtrusiveness() sim.Time { return r.OffSource - r.Start }
+
+// Cost returns the paper's migration-cost measure for the record.
+func (r MigrationRecord) Cost() sim.Time { return r.Reintegrated - r.Start }

@@ -1,0 +1,73 @@
+package gs
+
+import (
+	"fmt"
+
+	"pvmigrate/internal/adm"
+	"pvmigrate/internal/core"
+	"pvmigrate/internal/pvm"
+)
+
+// ADMTarget adapts an ADM application to the scheduler: the scheduler's
+// orders become application-level signals ("withdraw" / "rebalance"), and
+// the application responds by moving data rather than processes. Load here
+// is data shares, not VPs.
+type ADMTarget struct {
+	// slaves maps slave rank → its task.
+	slaves []*pvm.Task
+	// share reports the current exemplar share of a slave (the application
+	// exposes it; for simple uses, a fixed closure works).
+	share func(rank int) int
+}
+
+// NewADMTarget wraps an ADM application's slave tasks. share reports each
+// slave's current data share for load accounting (nil means "1 each").
+func NewADMTarget(slaves []*pvm.Task, share func(rank int) int) *ADMTarget {
+	if share == nil {
+		share = func(int) int { return 1 }
+	}
+	return &ADMTarget{slaves: slaves, share: share}
+}
+
+// HostLoad sums tracked data shares on the host.
+func (t *ADMTarget) HostLoad(host int) int {
+	n := 0
+	for rank, task := range t.slaves {
+		if task != nil && !task.Exited() && int(task.Host().ID()) == host {
+			n += t.share(rank)
+		}
+	}
+	return n
+}
+
+// EvacuateHost signals "withdraw" to every slave on the host; their data
+// fragments across the remaining slaves at the next flag check.
+func (t *ADMTarget) EvacuateHost(host int, reason core.MigrationReason) (int, error) {
+	signalled := 0
+	for _, task := range t.slaves {
+		if task == nil || task.Exited() || int(task.Host().ID()) != host {
+			continue
+		}
+		adm.Signal(task, adm.Event{Kind: "withdraw", Reason: reason})
+		signalled++
+	}
+	if signalled == 0 {
+		return 0, fmt.Errorf("gs: no ADM slave on host %d", host)
+	}
+	return signalled, nil
+}
+
+// MoveOne signals "rebalance" to one slave on the overloaded host: the
+// application recomputes its power-weighted partition, which shifts data
+// toward less loaded machines (the destination is implied by the powers,
+// not commanded — ADM's accuracy advantage, §3.4.3).
+func (t *ADMTarget) MoveOne(from, to int, reason core.MigrationReason) error {
+	for _, task := range t.slaves {
+		if task == nil || task.Exited() || int(task.Host().ID()) != from {
+			continue
+		}
+		adm.Signal(task, adm.Event{Kind: "rebalance", Reason: reason})
+		return nil
+	}
+	return fmt.Errorf("gs: no ADM slave on host %d", from)
+}

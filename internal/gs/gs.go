@@ -1,0 +1,151 @@
+// Package gs implements the network-wide Global Scheduler that all three
+// migration systems assume (paper §2.0): it embodies the decision-making
+// policies for scheduling parallel jobs on shared workstations and
+// initiates migrations by signalling the daemons.
+//
+// The scheduler watches owner activity and load on every host and issues
+// evacuation / rebalancing orders to a Target — an adapter onto MPVM, UPVM
+// or an ADM application, so the same policies drive all three systems.
+package gs
+
+import (
+	"time"
+
+	"pvmigrate/internal/cluster"
+	"pvmigrate/internal/core"
+	"pvmigrate/internal/sim"
+)
+
+// Target is the system-specific actuator the scheduler drives.
+type Target interface {
+	// EvacuateHost moves every guest VP (or the data, for ADM) off the
+	// host. Returns the number of work units moved.
+	EvacuateHost(host int, reason core.MigrationReason) (int, error)
+	// MoveOne shifts one unit of work from one host to another.
+	MoveOne(from, to int, reason core.MigrationReason) error
+	// HostLoad returns the number of application work units currently
+	// placed on the host (VPs, or data shares for ADM).
+	HostLoad(host int) int
+}
+
+// Decision is one scheduling action taken, for logs and tests.
+type Decision struct {
+	At     sim.Time
+	Host   int
+	Dest   int // -1 when the target chose destinations itself
+	Reason core.MigrationReason
+	Moved  int
+	Err    error
+}
+
+// Policy configures the scheduler's triggers.
+type Policy struct {
+	// ReclaimOnOwner evacuates a host the moment its owner becomes active.
+	ReclaimOnOwner bool
+	// LoadThreshold, when > 0, triggers moving one VP off any host whose
+	// run-queue length exceeds the threshold while some other host is idle.
+	LoadThreshold int
+	// PollInterval is the load-sampling period (the cadence at which 1994
+	// load daemons reported to the GS).
+	PollInterval sim.Time
+}
+
+// DefaultPolicy reclaims on owner arrival and polls every 5 s.
+func DefaultPolicy() Policy {
+	return Policy{ReclaimOnOwner: true, PollInterval: 5 * time.Second}
+}
+
+// Scheduler is the global scheduler instance.
+type Scheduler struct {
+	cl        *cluster.Cluster
+	target    Target
+	policy    Policy
+	decisions []Decision
+	stopped   bool
+}
+
+// New creates a scheduler over the cluster driving the given target.
+func New(cl *cluster.Cluster, target Target, policy Policy) *Scheduler {
+	if policy.PollInterval == 0 {
+		policy.PollInterval = 5 * time.Second
+	}
+	return &Scheduler{cl: cl, target: target, policy: policy}
+}
+
+// Decisions returns the log of actions taken.
+func (s *Scheduler) Decisions() []Decision { return s.decisions }
+
+// Stop halts future polling and reactions.
+func (s *Scheduler) Stop() { s.stopped = true }
+
+// Start subscribes to owner events and begins the polling loop.
+func (s *Scheduler) Start() {
+	if s.policy.ReclaimOnOwner {
+		for _, h := range s.cl.Hosts() {
+			h.OnOwnerChange(func(h *cluster.Host, active bool) {
+				if active && !s.stopped {
+					s.evacuate(int(h.ID()), core.ReasonOwnerReclaim)
+				}
+			})
+		}
+	}
+	if s.policy.LoadThreshold > 0 {
+		s.schedulePoll()
+	}
+}
+
+func (s *Scheduler) schedulePoll() {
+	s.cl.Kernel().Schedule(s.policy.PollInterval, func() {
+		if s.stopped {
+			return
+		}
+		s.pollOnce()
+		s.schedulePoll()
+	})
+}
+
+// pollOnce applies the load-threshold policy: move one work unit from the
+// most loaded host above threshold to the least loaded host.
+func (s *Scheduler) pollOnce() {
+	worst, worstLoad := -1, 0
+	best, bestLoad := -1, int(^uint(0)>>1)
+	for _, h := range s.cl.Hosts() {
+		load := h.LoadAverage()
+		id := int(h.ID())
+		if load > worstLoad && s.target.HostLoad(id) > 0 {
+			worst, worstLoad = id, load
+		}
+		if load < bestLoad && !h.OwnerActive() {
+			best, bestLoad = id, load
+		}
+	}
+	if worst < 0 || best < 0 || worst == best {
+		return
+	}
+	if worstLoad <= s.policy.LoadThreshold || bestLoad >= worstLoad-1 {
+		return
+	}
+	err := s.target.MoveOne(worst, best, core.ReasonHighLoad)
+	moved := 1
+	if err != nil {
+		moved = 0
+	}
+	s.decisions = append(s.decisions, Decision{
+		At: s.cl.Kernel().Now(), Host: worst, Dest: best,
+		Reason: core.ReasonHighLoad, Moved: moved, Err: err,
+	})
+}
+
+// evacuate clears guest work off a host.
+func (s *Scheduler) evacuate(host int, reason core.MigrationReason) {
+	moved, err := s.target.EvacuateHost(host, reason)
+	s.decisions = append(s.decisions, Decision{
+		At: s.cl.Kernel().Now(), Host: host, Dest: -1,
+		Reason: reason, Moved: moved, Err: err,
+	})
+}
+
+// Evacuate exposes manual evacuation (for scripted scenarios and tests).
+func (s *Scheduler) Evacuate(host int, reason core.MigrationReason) {
+	s.evacuate(host, reason)
+}

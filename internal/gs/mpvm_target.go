@@ -1,0 +1,93 @@
+package gs
+
+import (
+	"fmt"
+
+	"pvmigrate/internal/core"
+	"pvmigrate/internal/mpvm"
+)
+
+// MPVMTarget adapts an MPVM system to the scheduler: work units are whole
+// migratable processes.
+type MPVMTarget struct {
+	sys *mpvm.System
+	// tracked original tids, in registration order.
+	vps []core.TID
+}
+
+// NewMPVMTarget wraps an MPVM system. Register each migratable task that
+// the scheduler may move.
+func NewMPVMTarget(sys *mpvm.System) *MPVMTarget {
+	return &MPVMTarget{sys: sys}
+}
+
+// Track registers a migratable task with the scheduler.
+func (t *MPVMTarget) Track(orig core.TID) { t.vps = append(t.vps, orig) }
+
+// HostLoad counts tracked live VPs on the host.
+func (t *MPVMTarget) HostLoad(host int) int {
+	n := 0
+	for _, orig := range t.vps {
+		mt := t.sys.Task(orig)
+		if mt != nil && !mt.Exited() && int(mt.Host().ID()) == host {
+			n++
+		}
+	}
+	return n
+}
+
+// EvacuateHost migrates every tracked VP off the host, each to the
+// migration-compatible host with the fewest runnable jobs.
+func (t *MPVMTarget) EvacuateHost(host int, reason core.MigrationReason) (int, error) {
+	moved := 0
+	var firstErr error
+	for _, orig := range t.vps {
+		mt := t.sys.Task(orig)
+		if mt == nil || mt.Exited() || mt.Migrating() || int(mt.Host().ID()) != host {
+			continue
+		}
+		dest := t.bestDest(mt, host)
+		if dest < 0 {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("gs: no compatible destination for %v", orig)
+			}
+			continue
+		}
+		if err := t.sys.Migrate(orig, dest, reason); err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		moved++
+	}
+	return moved, firstErr
+}
+
+// MoveOne migrates one tracked VP from one host to another.
+func (t *MPVMTarget) MoveOne(from, to int, reason core.MigrationReason) error {
+	for _, orig := range t.vps {
+		mt := t.sys.Task(orig)
+		if mt == nil || mt.Exited() || mt.Migrating() || int(mt.Host().ID()) != from {
+			continue
+		}
+		return t.sys.Migrate(orig, to, reason)
+	}
+	return fmt.Errorf("gs: no movable VP on host %d", from)
+}
+
+// bestDest picks the compatible, owner-free host with the lowest load.
+func (t *MPVMTarget) bestDest(mt *mpvm.MTask, exclude int) int {
+	cl := t.sys.Machine().Cluster()
+	best, bestLoad := -1, int(^uint(0)>>1)
+	for _, h := range cl.Hosts() {
+		id := int(h.ID())
+		if id == exclude || h.OwnerActive() || !mt.Host().MigrationCompatible(h) {
+			continue
+		}
+		if load := h.LoadAverage(); load < bestLoad {
+			best, bestLoad = id, load
+		}
+	}
+	return best
+}

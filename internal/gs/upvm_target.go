@@ -1,0 +1,90 @@
+package gs
+
+import (
+	"fmt"
+
+	"pvmigrate/internal/core"
+	"pvmigrate/internal/upvm"
+)
+
+// UPVMTarget adapts a UPVM system to the scheduler: work units are ULPs,
+// giving the scheduler the finer redistribution granularity that is UPVM's
+// selling point (§3.4.2).
+type UPVMTarget struct {
+	sys  *upvm.System
+	ulps []int
+}
+
+// NewUPVMTarget wraps a UPVM system.
+func NewUPVMTarget(sys *upvm.System) *UPVMTarget {
+	return &UPVMTarget{sys: sys}
+}
+
+// Track registers a ULP the scheduler may move.
+func (t *UPVMTarget) Track(ulpID int) { t.ulps = append(t.ulps, ulpID) }
+
+// HostLoad counts tracked live ULPs on the host.
+func (t *UPVMTarget) HostLoad(host int) int {
+	n := 0
+	for _, id := range t.ulps {
+		u := t.sys.ULP(id)
+		if u != nil && !u.Done() && int(u.Host().ID()) == host {
+			n++
+		}
+	}
+	return n
+}
+
+// EvacuateHost migrates every tracked ULP off the host.
+func (t *UPVMTarget) EvacuateHost(host int, reason core.MigrationReason) (int, error) {
+	moved := 0
+	var firstErr error
+	for _, id := range t.ulps {
+		u := t.sys.ULP(id)
+		if u == nil || u.Done() || u.Migrating() || int(u.Host().ID()) != host {
+			continue
+		}
+		dest := t.bestDest(u, host)
+		if dest < 0 {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("gs: no compatible destination for ULP %d", id)
+			}
+			continue
+		}
+		if err := t.sys.Migrate(id, dest, reason); err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		moved++
+	}
+	return moved, firstErr
+}
+
+// MoveOne migrates one tracked ULP between hosts.
+func (t *UPVMTarget) MoveOne(from, to int, reason core.MigrationReason) error {
+	for _, id := range t.ulps {
+		u := t.sys.ULP(id)
+		if u == nil || u.Done() || u.Migrating() || int(u.Host().ID()) != from {
+			continue
+		}
+		return t.sys.Migrate(id, to, reason)
+	}
+	return fmt.Errorf("gs: no movable ULP on host %d", from)
+}
+
+func (t *UPVMTarget) bestDest(u *upvm.ULP, exclude int) int {
+	cl := t.sys.Machine().Cluster()
+	best, bestLoad := -1, int(^uint(0)>>1)
+	for _, h := range cl.Hosts() {
+		id := int(h.ID())
+		if id == exclude || h.OwnerActive() || !u.Host().MigrationCompatible(h) {
+			continue
+		}
+		if load := h.LoadAverage(); load < bestLoad {
+			best, bestLoad = id, load
+		}
+	}
+	return best
+}

@@ -1,0 +1,196 @@
+package mpi
+
+import (
+	"fmt"
+
+	"pvmigrate/internal/core"
+)
+
+// Collectives. All are implemented rank-0-rooted (or explicitly rooted)
+// over point-to-point messages, with linear fan-out — the same wire shape
+// as PVM 3's collectives, keeping costs comparable across the PVM and MPI
+// faces of the substrate. Every rank of the communicator must call each
+// collective in the same order.
+
+// Barrier blocks until every rank has entered it (MPI_Barrier): ranks
+// report to rank 0, which releases everyone.
+func (c *Comm) Barrier() error {
+	if c.rank == 0 {
+		for i := 0; i < len(c.ranks)-1; i++ {
+			if _, _, _, err := c.vp.Recv(core.AnyTID, tagBarrierArrive); err != nil {
+				return err
+			}
+		}
+		for r := 1; r < len(c.ranks); r++ {
+			if err := c.vp.Send(c.ranks[r], tagBarrierRelease, core.NewBuffer().PkInt(0)); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := c.vp.Send(c.ranks[0], tagBarrierArrive, core.NewBuffer().PkInt(c.rank)); err != nil {
+		return err
+	}
+	_, _, _, err := c.vp.Recv(c.ranks[0], tagBarrierRelease)
+	return err
+}
+
+// Bcast distributes root's vector to every rank (MPI_Bcast) and returns
+// each rank's copy.
+func (c *Comm) Bcast(root int, values []float64) ([]float64, error) {
+	rootTID, err := c.tidOf(root)
+	if err != nil {
+		return nil, err
+	}
+	if c.rank == root {
+		buf := core.NewBuffer().PkFloat64s(values)
+		for r := range c.ranks {
+			if r == root {
+				continue
+			}
+			if err := c.vp.Send(c.ranks[r], tagBcast, buf); err != nil {
+				return nil, err
+			}
+		}
+		return values, nil
+	}
+	_, _, r, err := c.vp.Recv(rootTID, tagBcast)
+	if err != nil {
+		return nil, err
+	}
+	return r.UpkFloat64s()
+}
+
+// ReduceOp combines a contribution into an accumulator elementwise.
+type ReduceOp func(acc, v []float64)
+
+// SumOp is MPI_SUM.
+func SumOp(acc, v []float64) {
+	for i := range acc {
+		acc[i] += v[i]
+	}
+}
+
+// MaxOp is MPI_MAX.
+func MaxOp(acc, v []float64) {
+	for i := range acc {
+		if v[i] > acc[i] {
+			acc[i] = v[i]
+		}
+	}
+}
+
+// Reduce combines every rank's vector at the root (MPI_Reduce), in rank
+// order for deterministic floating point. Non-roots get nil.
+func (c *Comm) Reduce(root int, op ReduceOp, values []float64) ([]float64, error) {
+	rootTID, err := c.tidOf(root)
+	if err != nil {
+		return nil, err
+	}
+	if c.rank != root {
+		buf := core.NewBuffer().PkInt(c.rank).PkFloat64s(values)
+		return nil, c.vp.Send(rootTID, tagReduce, buf)
+	}
+	contributions := make([][]float64, len(c.ranks))
+	contributions[root] = values
+	for n := 0; n < len(c.ranks)-1; n++ {
+		_, _, r, err := c.vp.Recv(core.AnyTID, tagReduce)
+		if err != nil {
+			return nil, err
+		}
+		rank, err := r.UpkInt()
+		if err != nil {
+			return nil, err
+		}
+		v, err := r.UpkFloat64s()
+		if err != nil {
+			return nil, err
+		}
+		if rank < 0 || rank >= len(contributions) || contributions[rank] != nil {
+			return nil, fmt.Errorf("mpi: reduce bad or duplicate rank %d", rank)
+		}
+		if len(v) != len(values) {
+			return nil, fmt.Errorf("mpi: reduce length mismatch: %d vs %d", len(v), len(values))
+		}
+		contributions[rank] = v
+	}
+	acc := append([]float64(nil), contributions[0]...)
+	for rank := 1; rank < len(contributions); rank++ {
+		op(acc, contributions[rank])
+	}
+	return acc, nil
+}
+
+// Allreduce is Reduce followed by Bcast (MPI_Allreduce); every rank gets
+// the combined vector.
+func (c *Comm) Allreduce(op ReduceOp, values []float64) ([]float64, error) {
+	res, err := c.Reduce(0, op, values)
+	if err != nil {
+		return nil, err
+	}
+	return c.Bcast(0, res)
+}
+
+// Gather collects every rank's vector at the root in rank order
+// (MPI_Gather). Non-roots get nil.
+func (c *Comm) Gather(root int, values []float64) ([][]float64, error) {
+	rootTID, err := c.tidOf(root)
+	if err != nil {
+		return nil, err
+	}
+	if c.rank != root {
+		buf := core.NewBuffer().PkInt(c.rank).PkFloat64s(values)
+		return nil, c.vp.Send(rootTID, tagGather, buf)
+	}
+	out := make([][]float64, len(c.ranks))
+	out[root] = append([]float64(nil), values...)
+	for n := 0; n < len(c.ranks)-1; n++ {
+		_, _, r, err := c.vp.Recv(core.AnyTID, tagGather)
+		if err != nil {
+			return nil, err
+		}
+		rank, err := r.UpkInt()
+		if err != nil {
+			return nil, err
+		}
+		v, err := r.UpkFloat64s()
+		if err != nil {
+			return nil, err
+		}
+		if rank < 0 || rank >= len(out) || out[rank] != nil {
+			return nil, fmt.Errorf("mpi: gather bad or duplicate rank %d", rank)
+		}
+		out[rank] = v
+	}
+	return out, nil
+}
+
+// Scatter splits root's per-rank vectors out to every rank (MPI_Scatter)
+// and returns each rank's piece. parts must have one entry per rank at the
+// root; it is ignored elsewhere.
+func (c *Comm) Scatter(root int, parts [][]float64) ([]float64, error) {
+	rootTID, err := c.tidOf(root)
+	if err != nil {
+		return nil, err
+	}
+	if c.rank == root {
+		if len(parts) != len(c.ranks) {
+			return nil, fmt.Errorf("mpi: scatter needs %d parts, got %d", len(c.ranks), len(parts))
+		}
+		for r := range c.ranks {
+			if r == root {
+				continue
+			}
+			buf := core.NewBuffer().PkFloat64s(parts[r])
+			if err := c.vp.Send(c.ranks[r], tagScatter, buf); err != nil {
+				return nil, err
+			}
+		}
+		return parts[root], nil
+	}
+	_, _, r, err := c.vp.Recv(rootTID, tagScatter)
+	if err != nil {
+		return nil, err
+	}
+	return r.UpkFloat64s()
+}

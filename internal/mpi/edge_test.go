@@ -1,0 +1,101 @@
+package mpi
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"pvmigrate/internal/core"
+)
+
+func TestSendrecvExchange(t *testing.T) {
+	// The classic neighbor exchange: every rank sends right, receives from
+	// left, in one call — deadlock-free.
+	const n = 4
+	got := map[int]float64{}
+	k := launchPVM(t, 2, n, func(c *Comm) error {
+		right := (c.Rank() + 1) % n
+		left := (c.Rank() - 1 + n) % n
+		buf := core.NewBuffer().PkFloat64s([]float64{float64(c.Rank() * 100)})
+		st, r, err := c.Sendrecv(right, 7, buf, left, 7)
+		if err != nil {
+			return err
+		}
+		if st.Source != left {
+			return fmt.Errorf("source %d, want %d", st.Source, left)
+		}
+		v, _ := r.UpkFloat64s()
+		got[c.Rank()] = v[0]
+		return nil
+	})
+	k.Run()
+	for rank := 0; rank < n; rank++ {
+		want := float64(((rank - 1 + n) % n) * 100)
+		if got[rank] != want {
+			t.Fatalf("rank %d got %f, want %f", rank, got[rank], want)
+		}
+	}
+}
+
+func TestIprobe(t *testing.T) {
+	var before, after bool
+	k := launchPVM(t, 2, 2, func(c *Comm) error {
+		if c.Rank() == 1 {
+			return c.Send(0, 3, core.NewBuffer().PkInt(1))
+		}
+		before = c.Iprobe(1, 3)
+		c.VP().Proc().Sleep(2 * time.Second)
+		after = c.Iprobe(1, 3)
+		// Drain so the message is not stranded.
+		_, _, err := c.Recv(1, 3)
+		return err
+	})
+	k.Run()
+	if before || !after {
+		t.Fatalf("before=%v after=%v", before, after)
+	}
+}
+
+func TestNewCommRejectsOutsider(t *testing.T) {
+	k := launchPVM(t, 1, 1, func(c *Comm) error {
+		// Build a second comm whose rank list omits this task.
+		_, err := NewComm(c.VP(), []core.TID{core.MakeTID(0, 99)})
+		if err == nil {
+			return fmt.Errorf("outsider comm accepted")
+		}
+		return nil
+	})
+	k.Run()
+}
+
+func TestScatterWrongPartCount(t *testing.T) {
+	k := launchPVM(t, 1, 2, func(c *Comm) error {
+		if c.Rank() != 0 {
+			// The root errors before sending; don't block forever.
+			return nil
+		}
+		if _, err := c.Scatter(0, [][]float64{{1}}); err == nil {
+			return fmt.Errorf("short parts accepted")
+		}
+		return nil
+	})
+	k.Run()
+}
+
+func TestReduceBadRootRank(t *testing.T) {
+	k := launchPVM(t, 1, 2, func(c *Comm) error {
+		if _, err := c.Reduce(9, SumOp, []float64{1}); err == nil {
+			return fmt.Errorf("bad root accepted")
+		}
+		return nil
+	})
+	k.Run()
+}
+
+func TestMaxOp(t *testing.T) {
+	acc := []float64{1, 5}
+	MaxOp(acc, []float64{3, 2})
+	if acc[0] != 3 || acc[1] != 5 {
+		t.Fatalf("acc = %v", acc)
+	}
+}

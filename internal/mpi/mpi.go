@@ -1,0 +1,179 @@
+// Package mpi demonstrates the paper's claim that "although the methods and
+// our prototypes use PVM, the underlying concepts are applicable to other
+// message-passing systems, for example, MPI" (§1.0): an MPI-1 style
+// interface (ranks, communicators, point-to-point and collective
+// operations) implemented over the same core.VP abstraction that PVM tasks,
+// MPVM migratable tasks and UPVM ULPs provide.
+//
+// Because the layer talks to core.VP, an MPI program runs unchanged under
+// plain PVM, under MPVM — where its processes transparently migrate — and
+// under UPVM. The migration systems never see MPI at all; ranks are bound
+// to stable tids and the tid-remapping machinery does the rest.
+package mpi
+
+import (
+	"errors"
+	"fmt"
+
+	"pvmigrate/internal/core"
+)
+
+// AnySource matches any sending rank in Recv.
+const AnySource = -1
+
+// AnyTag matches any tag in Recv.
+const AnyTag = -1
+
+// Tag space: user tags must stay below collectiveTagBase; the collectives
+// use tags above it so they never collide with point-to-point traffic.
+const collectiveTagBase = 1 << 16
+
+const (
+	tagBarrierArrive = collectiveTagBase + iota
+	tagBarrierRelease
+	tagBcast
+	tagReduce
+	tagGather
+	tagScatter
+	tagAllreduce
+)
+
+// Errors returned by the layer.
+var (
+	ErrBadRank = errors.New("mpi: rank out of range")
+	ErrBadTag  = errors.New("mpi: user tags must be in [0, 65536)")
+)
+
+// Status describes a received message.
+type Status struct {
+	Source int // sender's rank
+	Tag    int
+}
+
+// Comm is a communicator: an ordered set of ranks bound to stable VP tids.
+// The zeroth rank plays the coordinating role in collectives.
+type Comm struct {
+	vp    core.VP
+	rank  int
+	ranks []core.TID
+}
+
+// NewComm builds this process's view of the communicator: ranks[i] is the
+// stable tid of rank i; the caller's own tid must appear in the list.
+func NewComm(vp core.VP, ranks []core.TID) (*Comm, error) {
+	self := -1
+	for i, tid := range ranks {
+		if tid == vp.Mytid() {
+			self = i
+		}
+	}
+	if self < 0 {
+		return nil, fmt.Errorf("mpi: %v is not in the communicator", vp.Mytid())
+	}
+	return &Comm{vp: vp, rank: self, ranks: append([]core.TID(nil), ranks...)}, nil
+}
+
+// Rank returns the caller's rank.
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the number of ranks.
+func (c *Comm) Size() int { return len(c.ranks) }
+
+// VP returns the underlying virtual processor.
+func (c *Comm) VP() core.VP { return c.vp }
+
+func (c *Comm) tidOf(rank int) (core.TID, error) {
+	if rank < 0 || rank >= len(c.ranks) {
+		return core.NoTID, fmt.Errorf("%w: %d (size %d)", ErrBadRank, rank, len(c.ranks))
+	}
+	return c.ranks[rank], nil
+}
+
+func (c *Comm) rankOf(tid core.TID) int {
+	for i, t := range c.ranks {
+		if t == tid {
+			return i
+		}
+	}
+	return -1
+}
+
+func checkUserTag(tag int) error {
+	if tag < 0 || tag >= collectiveTagBase {
+		return fmt.Errorf("%w: %d", ErrBadTag, tag)
+	}
+	return nil
+}
+
+// Send transmits buf to dest with a user tag (MPI_Send; our sends are
+// buffered/asynchronous like MPI's standard mode on small messages).
+func (c *Comm) Send(dest, tag int, buf *core.Buffer) error {
+	if err := checkUserTag(tag); err != nil {
+		return err
+	}
+	tid, err := c.tidOf(dest)
+	if err != nil {
+		return err
+	}
+	return c.vp.Send(tid, tag, buf)
+}
+
+// Recv blocks for a message matching source and tag (AnySource/AnyTag
+// wildcards) and returns its status and reader (MPI_Recv).
+func (c *Comm) Recv(source, tag int) (Status, *core.Reader, error) {
+	srcTID := core.AnyTID
+	if source != AnySource {
+		tid, err := c.tidOf(source)
+		if err != nil {
+			return Status{}, nil, err
+		}
+		srcTID = tid
+	}
+	matchTag := tag
+	if tag == AnyTag {
+		matchTag = core.AnyTag
+	} else if err := checkUserTag(tag); err != nil {
+		return Status{}, nil, err
+	}
+	from, gotTag, r, err := c.vp.Recv(srcTID, matchTag)
+	if err != nil {
+		return Status{}, nil, err
+	}
+	// Collective traffic never matches user receives: user tags < base.
+	return Status{Source: c.rankOf(from), Tag: gotTag}, r, nil
+}
+
+// Sendrecv performs a combined send and receive (MPI_Sendrecv) — the
+// classic deadlock-free exchange. Our sends are asynchronous, so send
+// first, then receive.
+func (c *Comm) Sendrecv(dest, sendTag int, buf *core.Buffer, source, recvTag int) (Status, *core.Reader, error) {
+	if err := c.Send(dest, sendTag, buf); err != nil {
+		return Status{}, nil, err
+	}
+	return c.Recv(source, recvTag)
+}
+
+// Iprobe reports whether a matching message is queued (MPI_Iprobe).
+// Only available when the underlying VP supports probing (PVM tasks do).
+func (c *Comm) Iprobe(source, tag int) bool {
+	type prober interface {
+		Probe(src core.TID, tag int) bool
+	}
+	p, ok := c.vp.(prober)
+	if !ok {
+		return false
+	}
+	srcTID := core.AnyTID
+	if source != AnySource {
+		tid, err := c.tidOf(source)
+		if err != nil {
+			return false
+		}
+		srcTID = tid
+	}
+	matchTag := tag
+	if tag == AnyTag {
+		matchTag = core.AnyTag
+	}
+	return p.Probe(srcTID, matchTag)
+}

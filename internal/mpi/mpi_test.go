@@ -1,0 +1,335 @@
+package mpi
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"time"
+
+	"pvmigrate/internal/cluster"
+	"pvmigrate/internal/core"
+	"pvmigrate/internal/mpvm"
+	"pvmigrate/internal/netsim"
+	"pvmigrate/internal/pvm"
+	"pvmigrate/internal/sim"
+	"pvmigrate/internal/upvm"
+)
+
+// launchPVM starts n MPI ranks as plain PVM tasks (one per host, wrapping)
+// and runs body on each.
+func launchPVM(t *testing.T, nHosts, n int, body func(c *Comm) error) *sim.Kernel {
+	t.Helper()
+	k := sim.NewKernel()
+	specs := make([]cluster.HostSpec, nHosts)
+	for i := range specs {
+		specs[i] = cluster.DefaultHostSpec(fmt.Sprintf("h%d", i))
+	}
+	cl := cluster.New(k, netsim.Params{}, specs...)
+	m := pvm.NewMachine(cl, pvm.Config{})
+	ranks := make([]core.TID, n)
+	for i := 0; i < n; i++ {
+		task, err := m.Spawn(i%nHosts, fmt.Sprintf("rank%d", i), func(task *pvm.Task) {
+			c, err := NewComm(task, ranks)
+			if err != nil {
+				t.Errorf("NewComm: %v", err)
+				return
+			}
+			if err := body(c); err != nil {
+				t.Errorf("rank %d: %v", c.Rank(), err)
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ranks[i] = task.Mytid()
+	}
+	return k
+}
+
+func TestRankAndSize(t *testing.T) {
+	seen := map[int]bool{}
+	k := launchPVM(t, 2, 4, func(c *Comm) error {
+		if c.Size() != 4 {
+			return fmt.Errorf("size = %d", c.Size())
+		}
+		seen[c.Rank()] = true
+		return nil
+	})
+	k.Run()
+	if len(seen) != 4 {
+		t.Fatalf("ranks seen = %v", seen)
+	}
+}
+
+func TestSendRecvRing(t *testing.T) {
+	const n = 4
+	var sums [n]float64
+	k := launchPVM(t, 2, n, func(c *Comm) error {
+		// Each rank sends its rank number around the ring n-1 times,
+		// accumulating what it sees.
+		right := (c.Rank() + 1) % n
+		left := (c.Rank() - 1 + n) % n
+		carry := float64(c.Rank())
+		for step := 0; step < n-1; step++ {
+			if err := c.Send(right, 3, core.NewBuffer().PkFloat64s([]float64{carry})); err != nil {
+				return err
+			}
+			st, r, err := c.Recv(left, 3)
+			if err != nil {
+				return err
+			}
+			if st.Source != left {
+				return fmt.Errorf("source = %d, want %d", st.Source, left)
+			}
+			v, _ := r.UpkFloat64s()
+			carry = v[0]
+			sums[c.Rank()] += carry
+		}
+		return nil
+	})
+	k.Run()
+	// Every rank saw every other rank's value exactly once: sum 0+1+2+3
+	// minus its own.
+	for rank, s := range sums {
+		want := 6.0 - float64(rank)
+		if s != want {
+			t.Fatalf("rank %d sum = %f, want %f", rank, s, want)
+		}
+	}
+}
+
+func TestTagValidation(t *testing.T) {
+	k := launchPVM(t, 1, 2, func(c *Comm) error {
+		if c.Rank() != 0 {
+			return nil
+		}
+		if err := c.Send(1, collectiveTagBase, core.NewBuffer()); err == nil {
+			return fmt.Errorf("collective-range tag accepted")
+		}
+		if err := c.Send(1, -5, core.NewBuffer()); err == nil {
+			return fmt.Errorf("negative tag accepted")
+		}
+		if err := c.Send(9, 1, core.NewBuffer()); err == nil {
+			return fmt.Errorf("bad rank accepted")
+		}
+		return nil
+	})
+	k.Run()
+}
+
+func TestBarrierSynchronizes(t *testing.T) {
+	var releases []sim.Time
+	k := launchPVM(t, 2, 3, func(c *Comm) error {
+		c.VP().Proc().Sleep(time.Duration(c.Rank()) * 2 * time.Second)
+		if err := c.Barrier(); err != nil {
+			return err
+		}
+		releases = append(releases, c.VP().Proc().Now())
+		return nil
+	})
+	k.Run()
+	if len(releases) != 3 {
+		t.Fatalf("releases = %v", releases)
+	}
+	for _, r := range releases {
+		if r < 4*time.Second {
+			t.Fatalf("released before last arrival: %v", releases)
+		}
+	}
+}
+
+func TestBcastReduceGatherScatter(t *testing.T) {
+	var reduced []float64
+	var gathered [][]float64
+	var scattered [3][]float64
+	k := launchPVM(t, 3, 3, func(c *Comm) error {
+		// Bcast from rank 1.
+		var seed []float64
+		if c.Rank() == 1 {
+			seed = []float64{2, 4}
+		}
+		got, err := c.Bcast(1, seed)
+		if err != nil {
+			return err
+		}
+		if len(got) != 2 || got[0] != 2 || got[1] != 4 {
+			return fmt.Errorf("bcast got %v", got)
+		}
+		// Reduce sum of rank-scaled copies at rank 0.
+		local := []float64{got[0] * float64(c.Rank()+1), got[1] * float64(c.Rank()+1)}
+		res, err := c.Reduce(0, SumOp, local)
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			reduced = res
+		}
+		// Gather at rank 2.
+		g, err := c.Gather(2, []float64{float64(c.Rank() * 10)})
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 2 {
+			gathered = g
+		}
+		// Scatter from rank 0.
+		var parts [][]float64
+		if c.Rank() == 0 {
+			parts = [][]float64{{0}, {10}, {20}}
+		}
+		mine, err := c.Scatter(0, parts)
+		if err != nil {
+			return err
+		}
+		scattered[c.Rank()] = mine
+		return nil
+	})
+	k.Run()
+	// sum of (2,4)*(1+2+3) = (12, 24)
+	if len(reduced) != 2 || reduced[0] != 12 || reduced[1] != 24 {
+		t.Fatalf("reduced = %v", reduced)
+	}
+	if len(gathered) != 3 || gathered[0][0] != 0 || gathered[1][0] != 10 || gathered[2][0] != 20 {
+		t.Fatalf("gathered = %v", gathered)
+	}
+	for r := 0; r < 3; r++ {
+		if len(scattered[r]) != 1 || scattered[r][0] != float64(r*10) {
+			t.Fatalf("scattered = %v", scattered)
+		}
+	}
+}
+
+func TestAllreduce(t *testing.T) {
+	results := map[int][]float64{}
+	k := launchPVM(t, 2, 4, func(c *Comm) error {
+		res, err := c.Allreduce(SumOp, []float64{1, float64(c.Rank())})
+		if err != nil {
+			return err
+		}
+		results[c.Rank()] = res
+		return nil
+	})
+	k.Run()
+	for rank, res := range results {
+		if len(res) != 2 || res[0] != 4 || res[1] != 6 {
+			t.Fatalf("rank %d allreduce = %v", rank, res)
+		}
+	}
+	if len(results) != 4 {
+		t.Fatalf("results = %v", results)
+	}
+}
+
+// TestMPIProgramMigratesUnderMPVM is the paper's §1.0 claim end-to-end: an
+// MPI program (iterative Allreduce, the classic SPMD skeleton) whose ranks
+// are MPVM migratable tasks keeps computing correctly while one rank is
+// migrated mid-run.
+func TestMPIProgramMigratesUnderMPVM(t *testing.T) {
+	k := sim.NewKernel()
+	cl := cluster.New(k, netsim.Params{},
+		cluster.DefaultHostSpec("h0"), cluster.DefaultHostSpec("h1"))
+	m := pvm.NewMachine(cl, pvm.Config{})
+	sys := mpvm.New(m, mpvm.Config{})
+	const n = 3
+	const iters = 10
+	ranks := make([]core.TID, n)
+	finals := map[int]float64{}
+	var endHost string
+	for i := 0; i < n; i++ {
+		i := i
+		mt, err := sys.SpawnMigratable(i%2, fmt.Sprintf("rank%d", i), 1<<20, func(mt *mpvm.MTask) {
+			c, err := NewComm(mt.Task, ranks)
+			if err != nil {
+				t.Errorf("NewComm: %v", err)
+				return
+			}
+			val := float64(c.Rank() + 1)
+			for it := 0; it < iters; it++ {
+				if err := c.VP().Compute(c.VP().Host().Spec().Speed * 2); err != nil {
+					t.Errorf("compute: %v", err)
+					return
+				}
+				sum, err := c.Allreduce(SumOp, []float64{val})
+				if err != nil {
+					t.Errorf("allreduce: %v", err)
+					return
+				}
+				val = sum[0] / float64(n) // converges to the mean
+			}
+			finals[c.Rank()] = val
+			if c.Rank() == 2 {
+				endHost = c.VP().Host().Name()
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ranks[i] = mt.OrigTID()
+	}
+	// Migrate rank 2 (on h0) to h1 mid-run.
+	k.Schedule(8*time.Second, func() {
+		if err := sys.Migrate(ranks[2], 1, core.ReasonOwnerReclaim); err != nil {
+			t.Errorf("migrate: %v", err)
+		}
+	})
+	k.Run()
+	if len(finals) != n {
+		t.Fatalf("finals = %v (blocked: %v)", finals, k.Blocked())
+	}
+	// Iterated averaging of (1,2,3): after the first allreduce everyone
+	// holds 2.0 and stays there.
+	for rank, v := range finals {
+		if math.Abs(v-2.0) > 1e-12 {
+			t.Fatalf("rank %d converged to %f", rank, v)
+		}
+	}
+	if endHost != "h1" {
+		t.Fatalf("rank 2 finished on %q", endHost)
+	}
+	if len(sys.Records()) != 1 {
+		t.Fatalf("migrations = %d", len(sys.Records()))
+	}
+}
+
+// TestMPIOnULPs runs the same MPI interface over UPVM ULPs.
+func TestMPIOnULPs(t *testing.T) {
+	k := sim.NewKernel()
+	cl := cluster.New(k, netsim.Params{},
+		cluster.DefaultHostSpec("h0"), cluster.DefaultHostSpec("h1"))
+	sys := upvm.New(pvm.NewMachine(cl, pvm.Config{}), upvm.Config{})
+	const n = 4
+	ranks := make([]core.TID, n)
+	for i := range ranks {
+		ranks[i] = upvm.ULPTID(i)
+	}
+	results := map[int][]float64{}
+	specs := make([]upvm.ULPSpec, n)
+	for i := range specs {
+		specs[i] = upvm.ULPSpec{Host: i % 2, DataBytes: 10_000}
+	}
+	_, err := sys.Start("mpi", specs, func(u *upvm.ULP, rank int) {
+		c, err := NewComm(u, ranks)
+		if err != nil {
+			t.Errorf("NewComm: %v", err)
+			return
+		}
+		res, err := c.Allreduce(SumOp, []float64{float64(rank)})
+		if err != nil {
+			t.Errorf("allreduce: %v", err)
+			return
+		}
+		results[rank] = res
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.Run()
+	if len(results) != n {
+		t.Fatalf("results = %v", results)
+	}
+	for rank, res := range results {
+		if len(res) != 1 || res[0] != 6 {
+			t.Fatalf("rank %d = %v", rank, res)
+		}
+	}
+}

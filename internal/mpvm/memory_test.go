@@ -1,0 +1,82 @@
+package mpvm
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"pvmigrate/internal/core"
+)
+
+func TestSpawnReservesMemory(t *testing.T) {
+	k, s := testSystem(t, 2)
+	mt, err := s.SpawnMigratable(0, "big", 10<<20, func(mt *MTask) {
+		mt.Compute(mt.Host().Spec().Speed)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Machine().Cluster().Host(0).MemUsedMB(); got != 10 {
+		t.Fatalf("host memory used = %d MB, want 10", got)
+	}
+	_ = mt
+	k.Run()
+}
+
+func TestMigrationMovesMemoryResidency(t *testing.T) {
+	k, s := testSystem(t, 2)
+	mt, _ := s.SpawnMigratable(0, "w", 8<<20, func(mt *MTask) {
+		mt.Compute(mt.Host().Spec().Speed * 60)
+	})
+	k.Schedule(2*time.Second, func() { s.Migrate(mt.OrigTID(), 1, core.ReasonManual) })
+	k.RunUntil(2 * time.Minute)
+	cl := s.Machine().Cluster()
+	if got := cl.Host(0).MemUsedMB(); got != 0 {
+		t.Fatalf("source still holds %d MB", got)
+	}
+	if got := cl.Host(1).MemUsedMB(); got != 8 {
+		t.Fatalf("destination holds %d MB, want 8", got)
+	}
+}
+
+func TestMigrationRefusedWhenDestinationFull(t *testing.T) {
+	k, s := testSystem(t, 2)
+	// Fill the destination almost completely (hosts have 64 MB).
+	if err := s.Machine().Cluster().Host(1).AllocMem(60); err != nil {
+		t.Fatal(err)
+	}
+	mt, _ := s.SpawnMigratable(0, "w", 8<<20, func(mt *MTask) {
+		mt.Compute(mt.Host().Spec().Speed * 5)
+	})
+	var migErr error
+	k.Schedule(time.Second, func() {
+		migErr = s.Migrate(mt.OrigTID(), 1, core.ReasonManual)
+	})
+	k.Run()
+	if !errors.Is(migErr, ErrNoMemory) {
+		t.Fatalf("migErr = %v, want ErrNoMemory", migErr)
+	}
+	if len(s.Records()) != 0 {
+		t.Fatal("migration proceeded despite memory refusal")
+	}
+}
+
+func TestSetStateBytesAdjustsReservation(t *testing.T) {
+	k, s := testSystem(t, 1)
+	mt, _ := s.SpawnMigratable(0, "grower", 1<<20, func(mt *MTask) {
+		mt.Compute(mt.Host().Spec().Speed)
+	})
+	h := s.Machine().Cluster().Host(0)
+	if h.MemUsedMB() != 1 {
+		t.Fatalf("initial reservation = %d MB", h.MemUsedMB())
+	}
+	mt.SetStateBytes(5 << 20)
+	if h.MemUsedMB() != 5 {
+		t.Fatalf("after growth = %d MB", h.MemUsedMB())
+	}
+	mt.SetStateBytes(2 << 20)
+	if h.MemUsedMB() != 2 {
+		t.Fatalf("after shrink = %d MB", h.MemUsedMB())
+	}
+	k.Run()
+}

@@ -1,0 +1,239 @@
+// Package mpvm implements Migratable PVM: transparent migration of
+// process-based virtual processors, following the four-stage protocol of
+// the paper's §2.1:
+//
+//  1. Migration event — the global scheduler sends a migrate message to the
+//     mpvmd on the to-be-vacated machine.
+//  2. Message flushing — the mpvmd sends a flush message to all other
+//     processes; each acknowledges, and from then on a send to the
+//     migrating process blocks the sender.
+//  3. VP state transfer — a skeleton process (same executable) starts on
+//     the destination host; a TCP connection carries the migrating
+//     process's state (data, heap, stack, register context, and buffered
+//     messages); the skeleton assumes the state.
+//  4. Restart — the migrated process re-enrolls with the mpvmd on the new
+//     host (getting a new tid), and sends restart messages that unblock
+//     stalled senders and publish the tid remapping.
+//
+// Transparency is preserved exactly as in the paper: application code keeps
+// using the tids it first learned; the library remaps on every send and
+// receive (§4.1.1's tid re-mapping overhead), sends are intercepted to
+// implement flush blocking, and the re-implemented pvm_recv allows a
+// process blocked in receive to migrate.
+package mpvm
+
+import (
+	"errors"
+	"time"
+
+	"pvmigrate/internal/core"
+	"pvmigrate/internal/pvm"
+	"pvmigrate/internal/sim"
+)
+
+// Errors returned by migration operations.
+var (
+	ErrUnknownTask   = errors.New("mpvm: unknown task")
+	ErrIncompatible  = errors.New("mpvm: destination host is not migration compatible")
+	ErrAlreadyMoving = errors.New("mpvm: task is already migrating")
+	ErrSameHost      = errors.New("mpvm: task is already on the destination host")
+	ErrNotMigratable = errors.New("mpvm: task was not spawned migratable")
+	ErrNoMemory      = errors.New("mpvm: destination host lacks physical memory")
+)
+
+// Config sets the migration-specific cost model. Zero fields take defaults.
+// The defaults are fitted to the paper's Table 2 (see DESIGN.md §5).
+type Config struct {
+	// SkeletonStart is fork+exec+page-in of the skeleton process on the
+	// destination host plus its handshake with the mpvmd.
+	SkeletonStart sim.Time
+	// TransferChunk is the write() granularity of the state transfer.
+	TransferChunk int
+	// TransferCopyBps is the extra per-byte copy cost (user→kernel buffer
+	// and back) paid during state transfer, on top of wire time.
+	TransferCopyBps float64
+	// RestartOverhead is re-enrolling with the new mpvmd and rebinding
+	// signal handlers before the restart broadcast.
+	RestartOverhead sim.Time
+	// CtlBytes is the size of protocol control messages.
+	CtlBytes int
+}
+
+// DefaultConfig returns the fitted cost model.
+func DefaultConfig() Config {
+	return Config{
+		SkeletonStart:   780 * time.Millisecond,
+		TransferChunk:   64 << 10,
+		TransferCopyBps: 12e6,
+		RestartOverhead: 180 * time.Millisecond,
+		CtlBytes:        64,
+	}
+}
+
+func (c Config) withDefaults() Config {
+	d := DefaultConfig()
+	if c.SkeletonStart == 0 {
+		c.SkeletonStart = d.SkeletonStart
+	}
+	if c.TransferChunk == 0 {
+		c.TransferChunk = d.TransferChunk
+	}
+	if c.TransferCopyBps == 0 {
+		c.TransferCopyBps = d.TransferCopyBps
+	}
+	if c.RestartOverhead == 0 {
+		c.RestartOverhead = d.RestartOverhead
+	}
+	if c.CtlBytes == 0 {
+		c.CtlBytes = d.CtlBytes
+	}
+	return c
+}
+
+// System is the MPVM extension over a PVM machine: it installs protocol
+// handlers on every daemon (turning them into mpvmds) and tracks migratable
+// tasks.
+type System struct {
+	m   *pvm.Machine
+	cfg Config
+
+	// tasks by original (stable) tid.
+	tasks map[core.TID]*MTask
+	// globalRemap: original tid → current tid, the authoritative view used
+	// for daemon-level forwarding of stale messages.
+	globalRemap map[core.TID]core.TID
+
+	records []core.MigrationRecord
+
+	// tracer, when set, receives one event per protocol stage — used to
+	// reproduce the paper's Figure 1 as a timeline.
+	tracer func(actor, stage, detail string)
+
+	// in-flight migrations by original tid.
+	migrations map[core.TID]*migration
+
+	rpcSeq  int
+	rpcWait map[int]*rpcPending
+}
+
+type rpcPending struct {
+	cond  *sim.Cond
+	reply any
+}
+
+// migration tracks one in-progress migration at the source mpvmd.
+type migration struct {
+	order     core.MigrationOrder
+	orig      core.TID
+	start     sim.Time
+	acksWant  int
+	acksHave  int
+	offSource sim.Time
+}
+
+// New wraps a PVM machine with MPVM protocol support.
+func New(m *pvm.Machine, cfg Config) *System {
+	s := &System{
+		m:           m,
+		cfg:         cfg.withDefaults(),
+		tasks:       make(map[core.TID]*MTask),
+		globalRemap: make(map[core.TID]core.TID),
+		migrations:  make(map[core.TID]*migration),
+		rpcWait:     make(map[int]*rpcPending),
+	}
+	for h := 0; h < m.NHosts(); h++ {
+		d := m.Daemon(h)
+		d.Control = s.handleCtl
+		d.ForwardUnknown = s.forwardStale
+	}
+	return s
+}
+
+// Machine returns the underlying PVM machine.
+func (s *System) Machine() *pvm.Machine { return s.m }
+
+// Config returns the (defaulted) migration cost model.
+func (s *System) Config() Config { return s.cfg }
+
+// Records returns all completed migration records in completion order.
+func (s *System) Records() []core.MigrationRecord { return s.records }
+
+// SetTracer installs a protocol stage tracer (nil to disable).
+func (s *System) SetTracer(fn func(actor, stage, detail string)) { s.tracer = fn }
+
+func (s *System) trace(actor, stage, detail string) {
+	if s.tracer != nil {
+		s.tracer(actor, stage, detail)
+	}
+}
+
+// Tasks returns the migratable tasks by original tid.
+func (s *System) Task(orig core.TID) *MTask { return s.tasks[orig] }
+
+// CurrentTID resolves an original tid to the task's current tid.
+func (s *System) CurrentTID(orig core.TID) core.TID {
+	if cur, ok := s.globalRemap[orig]; ok {
+		return cur
+	}
+	return orig
+}
+
+// forwardStale re-routes messages addressed to a tid whose task has
+// migrated away — the daemon-level safety net for messages that were in
+// flight across a migration.
+func (s *System) forwardStale(d *pvm.Daemon, msg *pvm.Message) bool {
+	cur := msg.Dst
+	for {
+		next, ok := s.remapOnce(cur)
+		if !ok {
+			break
+		}
+		cur = next
+	}
+	if cur != msg.Dst {
+		fwd := *msg
+		fwd.Dst = cur
+		fwd.Hops++
+		d.Host().Iface().SendDgram(1, d.Host().ID(), 1, fwd.WireBytes(), &fwd)
+		return true
+	}
+	// No remap known yet. If the destination is mid-migration (detached
+	// from the source but not yet re-enrolled), hold the message briefly
+	// and retry: the restart broadcast will install the remap.
+	for orig := range s.migrations {
+		if s.CurrentTID(orig) == msg.Dst {
+			retry := *msg
+			retry.Hops++
+			host := d.Host()
+			s.m.Kernel().Schedule(20*time.Millisecond, func() {
+				host.Iface().SendDgram(1, host.ID(), 1, retry.WireBytes(), &retry)
+			})
+			return true
+		}
+	}
+	return false
+}
+
+func (s *System) remapOnce(tid core.TID) (core.TID, bool) {
+	for _, mt := range s.tasks {
+		if prev, ok := mt.tidHistoryNext[tid]; ok {
+			return prev, true
+		}
+	}
+	return core.NoTID, false
+}
+
+func (s *System) nextRPC() (int, *rpcPending) {
+	s.rpcSeq++
+	p := &rpcPending{cond: sim.NewCond(s.m.Kernel())}
+	s.rpcWait[s.rpcSeq] = p
+	return s.rpcSeq, p
+}
+
+func (s *System) completeRPC(id int, reply any) {
+	if p, ok := s.rpcWait[id]; ok {
+		delete(s.rpcWait, id)
+		p.reply = reply
+		p.cond.Broadcast()
+	}
+}

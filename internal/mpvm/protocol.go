@@ -1,0 +1,351 @@
+package mpvm
+
+import (
+	"fmt"
+
+	"pvmigrate/internal/core"
+	"pvmigrate/internal/netsim"
+	"pvmigrate/internal/pvm"
+	"pvmigrate/internal/sim"
+)
+
+// Protocol control payloads, all carried in pvm.CtlMsg{Kind: "mpvm"}.
+type (
+	// migrateCmd: global scheduler → source mpvmd (stage 1).
+	migrateCmd struct {
+		order core.MigrationOrder
+		orig  core.TID
+	}
+	// flushCmd: source mpvmd → every mpvmd (stage 2).
+	flushCmd struct {
+		orig    core.TID
+		srcHost int
+	}
+	// flushAck: every mpvmd → source mpvmd (stage 2).
+	flushAck struct {
+		orig core.TID
+	}
+	// skeletonReq: migrating process → destination mpvmd (stage 3).
+	skeletonReq struct {
+		rpc     int
+		orig    core.TID
+		name    string
+		srcHost int
+		bytes   int
+	}
+	// skeletonReady: destination mpvmd → source host (stage 3).
+	skeletonReady struct {
+		rpc  int
+		port int
+	}
+	// restartCmd: migrated process → every mpvmd (stage 4).
+	restartCmd struct {
+		orig   core.TID
+		oldTID core.TID
+		newTID core.TID
+	}
+)
+
+const migPortBase = 50000
+
+// stateHeader starts a state-transfer stream on the skeleton TCP
+// connection.
+type stateHeader struct {
+	orig  core.TID
+	total int
+}
+
+// Migrate orders a migration: move the task known by original tid orig to
+// the dest host. The request travels as a control message to the mpvmd on
+// the source host, exactly as the paper's GS does it. Validation errors
+// (unknown task, incompatible architecture, same host) surface immediately.
+func (s *System) Migrate(orig core.TID, dest int, reason core.MigrationReason) error {
+	mt, ok := s.tasks[orig]
+	if !ok {
+		return fmt.Errorf("%w: %v", ErrUnknownTask, orig)
+	}
+	if mt.migrating {
+		return fmt.Errorf("%w: %v", ErrAlreadyMoving, orig)
+	}
+	destD := s.m.Daemon(dest)
+	if destD == nil {
+		return fmt.Errorf("mpvm: no host %d", dest)
+	}
+	srcHost := mt.Host()
+	if int(srcHost.ID()) == dest {
+		return fmt.Errorf("%w: %v on host %d", ErrSameHost, orig, dest)
+	}
+	if !srcHost.MigrationCompatible(destD.Host()) {
+		return fmt.Errorf("%w: %s (%s) → %s (%s)", ErrIncompatible,
+			srcHost.Name(), srcHost.Arch(), destD.Host().Name(), destD.Host().Arch())
+	}
+	destHost := destD.Host()
+	if free := destHost.Spec().MemMB - destHost.MemUsedMB(); free < memMB(mt.stateBytes) {
+		return fmt.Errorf("%w: %s has %d MB free, %v needs %d MB",
+			ErrNoMemory, destHost.Name(), free, orig, memMB(mt.stateBytes))
+	}
+	order := core.MigrationOrder{VP: orig, Dest: dest, Reason: reason}
+	s.trace("GS", "1:migration-event", fmt.Sprintf("migrate %v to host%d (%s)", orig, dest, reason))
+	srcD := s.m.Daemon(int(srcHost.ID()))
+	srcD.SendCtl(int(srcHost.ID()), s.cfg.CtlBytes,
+		&pvm.CtlMsg{Kind: "mpvm", Payload: &migrateCmd{order: order, orig: orig}})
+	return nil
+}
+
+// handleCtl is installed as every daemon's Control hook.
+func (s *System) handleCtl(d *pvm.Daemon, c *pvm.CtlMsg) bool {
+	if c.Kind != "mpvm" {
+		return false
+	}
+	switch p := c.Payload.(type) {
+	case *migrateCmd:
+		s.onMigrateCmd(d, p)
+	case *flushCmd:
+		s.onFlushCmd(d, p)
+	case *flushAck:
+		s.onFlushAck(d, p)
+	case *skeletonReq:
+		s.onSkeletonReq(d, p)
+	case *skeletonReady:
+		s.completeRPC(p.rpc, p)
+	case *restartCmd:
+		s.onRestartCmd(d, p)
+	}
+	return true
+}
+
+// onMigrateCmd (source mpvmd): stage 1 → start stage 2 by flushing.
+func (s *System) onMigrateCmd(d *pvm.Daemon, cmd *migrateCmd) {
+	mt, ok := s.tasks[cmd.orig]
+	if !ok || mt.migrating || mt.Exited() {
+		return
+	}
+	mt.migrating = true
+	mig := &migration{
+		order:    cmd.order,
+		orig:     cmd.orig,
+		start:    s.m.Kernel().Now(),
+		acksWant: s.m.NHosts(),
+	}
+	s.migrations[cmd.orig] = mig
+	s.trace(fmt.Sprintf("mpvmd%d", d.Host().ID()), "2:flush", "flush message to all processes")
+	for h := 0; h < s.m.NHosts(); h++ {
+		d.SendCtl(h, s.cfg.CtlBytes, &pvm.CtlMsg{Kind: "mpvm",
+			Payload: &flushCmd{orig: cmd.orig, srcHost: int(d.Host().ID())}})
+	}
+}
+
+// onFlushCmd (every mpvmd): block local senders, acknowledge.
+func (s *System) onFlushCmd(d *pvm.Daemon, cmd *flushCmd) {
+	for _, mt := range s.tasks {
+		if mt.orig == cmd.orig || mt.Exited() {
+			continue
+		}
+		if mt.Host().ID() == d.Host().ID() {
+			mt.applyFlush(cmd.orig)
+		}
+	}
+	d.SendCtl(cmd.srcHost, s.cfg.CtlBytes,
+		&pvm.CtlMsg{Kind: "mpvm", Payload: &flushAck{orig: cmd.orig}})
+}
+
+// onFlushAck (source mpvmd): when all hosts acknowledged, signal the victim.
+func (s *System) onFlushAck(d *pvm.Daemon, ack *flushAck) {
+	mig, ok := s.migrations[ack.orig]
+	if !ok {
+		return
+	}
+	mig.acksHave++
+	if mig.acksHave < mig.acksWant {
+		return
+	}
+	mt := s.tasks[ack.orig]
+	if mt == nil || mt.Exited() {
+		s.cancelMigration(ack.orig, d)
+		return
+	}
+	// The signal interrupts the process at an arbitrary execution point; if
+	// it is inside the run-time library (interrupts masked) the migration
+	// is deferred until the library call completes.
+	s.trace(fmt.Sprintf("mpvmd%d", d.Host().ID()), "2:flush-complete", "all acks received; signalling victim")
+	mt.Proc().Interrupt(migrateSignal{mig: mig})
+}
+
+// onSkeletonReq (destination mpvmd): start the skeleton process, reply with
+// the TCP port once it listens.
+func (s *System) onSkeletonReq(d *pvm.Daemon, req *skeletonReq) {
+	port := migPortBase + req.rpc
+	k := s.m.Kernel()
+	k.Schedule(s.cfg.SkeletonStart, func() {
+		l, err := d.Host().Iface().Listen(port)
+		if err != nil {
+			return
+		}
+		k.Spawn(fmt.Sprintf("skeleton(%v)", req.orig), func(p *sim.Proc) {
+			defer l.Close()
+			conn, err := l.Accept(p)
+			if err != nil {
+				return
+			}
+			defer conn.Close()
+			// First segment is the header announcing the total size.
+			seg, err := conn.Recv(p)
+			if err != nil {
+				return
+			}
+			hdr, ok := seg.Payload.(*stateHeader)
+			if !ok {
+				return
+			}
+			got := 0
+			for got < hdr.total {
+				seg, err := conn.Recv(p)
+				if err != nil {
+					return
+				}
+				got += seg.Bytes
+			}
+			// State assumed: tell the source so it can exit and the task
+			// can restart here.
+			conn.Send(p, s.cfg.CtlBytes, "state-assumed")
+		})
+		d.SendCtl(req.srcHost, s.cfg.CtlBytes,
+			&pvm.CtlMsg{Kind: "mpvm", Payload: &skeletonReady{rpc: req.rpc, port: port}})
+	})
+}
+
+// cancelMigration abandons an in-flight migration whose victim exited
+// before (or while) the protocol ran: the entry is dropped and a no-op
+// restart (old tid = new tid) is broadcast so any sender stalled on the
+// flush flag unblocks instead of waiting forever.
+func (s *System) cancelMigration(orig core.TID, d *pvm.Daemon) {
+	mig, ok := s.migrations[orig]
+	if !ok {
+		return
+	}
+	delete(s.migrations, orig)
+	_ = mig
+	cur := s.CurrentTID(orig)
+	for h := 0; h < s.m.NHosts(); h++ {
+		d.SendCtl(h, s.cfg.CtlBytes, &pvm.CtlMsg{Kind: "mpvm",
+			Payload: &restartCmd{orig: orig, oldTID: cur, newTID: cur}})
+	}
+}
+
+// onRestartCmd (every mpvmd): publish the remap to local tasks and unblock
+// stalled senders.
+func (s *System) onRestartCmd(d *pvm.Daemon, cmd *restartCmd) {
+	for _, mt := range s.tasks {
+		if mt.orig == cmd.orig || mt.Exited() {
+			continue
+		}
+		if mt.Host().ID() == d.Host().ID() {
+			mt.applyRestart(cmd.orig, cmd.oldTID, cmd.newTID)
+		}
+	}
+}
+
+// executeMigration runs stages 3 and 4 in the migrating process's own
+// context (the transparently linked signal handler).
+func (s *System) executeMigration(mt *MTask, sig migrateSignal) {
+	p := mt.Proc()
+	p.MaskInterrupts()
+	defer p.UnmaskInterrupts()
+	mig := sig.mig
+	destHost := mig.order.Dest
+	srcIface := mt.Host().Iface()
+	oldTID := mt.Mytid()
+
+	// Stage 3a: request a skeleton on the destination host and wait for it
+	// to listen.
+	rpcID, pend := s.nextRPC()
+	srcD := mt.Daemon()
+	srcD.SendCtl(destHost, s.cfg.CtlBytes, &pvm.CtlMsg{Kind: "mpvm", Payload: &skeletonReq{
+		rpc: rpcID, orig: mt.orig, name: mt.Name(),
+		srcHost: int(mt.Host().ID()), bytes: mt.stateBytes,
+	}})
+	for pend.reply == nil {
+		if err := pend.cond.Wait(p); err != nil {
+			return
+		}
+	}
+	ready := pend.reply.(*skeletonReady)
+	s.trace("skeleton", "3:skeleton-ready", fmt.Sprintf("listening on host%d:%d", destHost, ready.port))
+
+	// Stage 3b: connect and stream the process image: data + heap + stack
+	// (stateBytes), buffered/unreceived messages, and the register context.
+	conn, err := srcIface.Dial(p, netsim.HostID(destHost), ready.port)
+	if err != nil {
+		mt.migrating = false
+		delete(s.migrations, mt.orig)
+		return
+	}
+	inbox := mt.TakeInbox()
+	inboxBytes := 0
+	for _, m := range inbox {
+		inboxBytes += m.WireBytes()
+	}
+	const contextBytes = 4 << 10 // registers + signal state + library tables
+	total := mt.stateBytes + inboxBytes + contextBytes
+	s.trace(mt.orig.String(), "3:state-transfer", fmt.Sprintf("%d bytes over TCP", total))
+	conn.Send(p, 64, &stateHeader{orig: mt.orig, total: total})
+	remaining := total
+	for remaining > 0 {
+		chunk := remaining
+		if chunk > s.cfg.TransferChunk {
+			chunk = s.cfg.TransferChunk
+		}
+		// write() copies through the kernel on both sides — the cost that
+		// keeps MPVM above raw TCP in Table 2.
+		s.m.ChargeCPU(p, mt.Host(), sim.FromSeconds(float64(chunk)/s.cfg.TransferCopyBps))
+		if err := conn.Send(p, chunk, nil); err != nil {
+			break
+		}
+		remaining -= chunk
+	}
+
+	// The process image is off the source machine: this is the end of the
+	// obtrusiveness window.
+	mt.DetachFromHost()
+	mig.offSource = p.Now()
+	s.trace(mt.orig.String(), "3:off-source", "process image off the source host")
+
+	// Wait for the skeleton to confirm it assumed the state.
+	if _, err := conn.Recv(p); err == nil {
+		conn.Close()
+	}
+
+	// Stage 4: the skeleton is now the process. Re-enroll with the new
+	// mpvmd (fresh tid), restore buffered messages, broadcast restart.
+	// Memory residency moves with the image.
+	srcD.Host().FreeMem(mt.memMB)
+	destD := s.m.Daemon(destHost)
+	mt.memMB = memMB(mt.stateBytes)
+	_ = destD.Host().AllocMem(mt.memMB)
+	newTID := mt.AttachToHost(destD)
+	s.trace(mt.orig.String(), "4:restart", fmt.Sprintf("re-enrolled as %v; broadcasting restart", newTID))
+	s.m.ChargeCPU(p, mt.Host(), s.cfg.RestartOverhead)
+	mt.RestoreInbox(inbox)
+	mt.tidHistoryNext[oldTID] = newTID
+	s.globalRemap[mt.orig] = newTID
+	for h := 0; h < s.m.NHosts(); h++ {
+		destD.SendCtl(h, s.cfg.CtlBytes, &pvm.CtlMsg{Kind: "mpvm",
+			Payload: &restartCmd{orig: mt.orig, oldTID: oldTID, newTID: newTID}})
+	}
+
+	mt.migrating = false
+	delete(s.migrations, mt.orig)
+	rec := core.MigrationRecord{
+		VP:           mt.orig,
+		NewTID:       newTID,
+		From:         int(srcD.Host().ID()),
+		To:           destHost,
+		Reason:       mig.order.Reason,
+		Start:        mig.start,
+		OffSource:    mig.offSource,
+		Reintegrated: p.Now(),
+		StateBytes:   total,
+	}
+	s.trace(mt.orig.String(), "4:reintegrated", "resuming application execution")
+	s.records = append(s.records, rec)
+}

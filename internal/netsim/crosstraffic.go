@@ -1,0 +1,40 @@
+package netsim
+
+import "pvmigrate/internal/sim"
+
+// CrossTraffic injects background frames onto the shared Ethernet,
+// modelling the paper's observation that on a shared worknet "network
+// bandwidth fluctuates and strongly influences the execution of jobs".
+// Frames arrive with exponential gaps sized so the wire carries the target
+// utilization on average.
+type CrossTraffic struct {
+	stopped bool
+}
+
+// StartCrossTraffic begins injecting load at the given fraction of link
+// capacity (0 < utilization < 1). The sender alternates one-MSS frames with
+// exponentially distributed idle gaps.
+func StartCrossTraffic(n *Network, seed uint64, utilization float64) *CrossTraffic {
+	if utilization <= 0 || utilization >= 1 {
+		panic("netsim: cross-traffic utilization must be in (0, 1)")
+	}
+	ct := &CrossTraffic{}
+	rng := sim.NewRNG(seed)
+	frame := n.params.MSS
+	frameTime := n.link.frameTime(frame)
+	meanGap := sim.Time(float64(frameTime) * (1 - utilization) / utilization)
+	n.k.Spawn("cross-traffic", func(p *sim.Proc) {
+		for !ct.stopped {
+			if err := n.link.Transmit(p, frame); err != nil {
+				return
+			}
+			if err := p.Sleep(rng.ExpDuration(meanGap)); err != nil {
+				return
+			}
+		}
+	})
+	return ct
+}
+
+// Stop ends the injection after the current frame.
+func (c *CrossTraffic) Stop() { c.stopped = true }

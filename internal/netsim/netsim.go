@@ -1,0 +1,142 @@
+// Package netsim models the shared 10 Mb/s Ethernet segment and the TCP and
+// datagram services that the PVM substrate uses, as a discrete-event system
+// on top of the sim kernel.
+//
+// The model is deliberately simple — a single shared FIFO link with
+// per-frame pacing — because the quantities the paper measures (raw TCP
+// transfer time, migration obtrusiveness, flush round trips) are dominated
+// by payload size ÷ effective bandwidth plus a handful of protocol round
+// trips. The frame overhead default is *fitted* so that a bulk TCP transfer
+// achieves ~1.04 MB/s of payload goodput, which is the effective bandwidth
+// implied by the raw-TCP column of the paper's Table 2 (slaves carry half of
+// each listed data size: 0.3 MB/0.27 s ≈ 10.4 MB/10.0 s ≈ 1.04 MB/s).
+package netsim
+
+import (
+	"time"
+
+	"pvmigrate/internal/sim"
+)
+
+// HostID identifies a workstation on the network (dense, 0-based).
+type HostID int
+
+// Params configures the network model. Zero fields take the defaults from
+// DefaultParams.
+type Params struct {
+	// BandwidthBps is the raw wire rate in bits per second (10 Mb/s
+	// Ethernet in the paper's testbed).
+	BandwidthBps float64
+	// Latency is the one-way propagation plus interrupt/driver latency per
+	// frame.
+	Latency sim.Time
+	// MSS is the TCP maximum segment payload per frame.
+	MSS int
+	// FrameOverhead is the *equivalent* per-frame overhead in bytes. It
+	// folds together Ethernet/IP/TCP headers, the inter-frame gap, ACK
+	// traffic and per-frame protocol processing, and is fitted so bulk TCP
+	// goodput matches the paper's measured raw-TCP bandwidth.
+	FrameOverhead int
+	// TCPSetup is the connection establishment cost beyond the handshake
+	// round trips (socket creation, accept processing).
+	TCPSetup sim.Time
+	// DgramOverhead is the per-datagram fixed cost (UDP syscall + driver).
+	DgramOverhead sim.Time
+	// LoopbackBps is the effective memory-copy bandwidth for same-host
+	// delivery, bytes/s.
+	LoopbackBps float64
+}
+
+// DefaultParams returns the calibrated 1994 testbed model: 10 Mb/s shared
+// Ethernet between HP 9000/720 workstations.
+func DefaultParams() Params {
+	return Params{
+		BandwidthBps:  10e6,
+		Latency:       700 * time.Microsecond,
+		MSS:           1460,
+		FrameOverhead: 295, // fitted: 1460B payload per (1460+295)*8/10e6 s = 1.04 MB/s
+		TCPSetup:      25 * time.Millisecond,
+		DgramOverhead: 300 * time.Microsecond,
+		LoopbackBps:   25e6, // HP-720-era memcpy
+	}
+}
+
+func (p Params) withDefaults() Params {
+	d := DefaultParams()
+	if p.BandwidthBps == 0 {
+		p.BandwidthBps = d.BandwidthBps
+	}
+	if p.Latency == 0 {
+		p.Latency = d.Latency
+	}
+	if p.MSS == 0 {
+		p.MSS = d.MSS
+	}
+	if p.FrameOverhead == 0 {
+		p.FrameOverhead = d.FrameOverhead
+	}
+	if p.TCPSetup == 0 {
+		p.TCPSetup = d.TCPSetup
+	}
+	if p.DgramOverhead == 0 {
+		p.DgramOverhead = d.DgramOverhead
+	}
+	if p.LoopbackBps == 0 {
+		p.LoopbackBps = d.LoopbackBps
+	}
+	return p
+}
+
+// GoodputBps returns the model's steady-state bulk TCP payload bandwidth in
+// bytes per second. With default parameters this is ~1.04 MB/s.
+func (p Params) GoodputBps() float64 {
+	p = p.withDefaults()
+	return float64(p.MSS) / (float64(p.MSS+p.FrameOverhead) * 8 / p.BandwidthBps)
+}
+
+// Network is a shared Ethernet segment connecting a set of host interfaces.
+type Network struct {
+	k      *sim.Kernel
+	params Params
+	link   *Link
+	ifaces map[HostID]*Iface
+}
+
+// New creates a network on kernel k with the given parameters.
+func New(k *sim.Kernel, params Params) *Network {
+	p := params.withDefaults()
+	return &Network{
+		k:      k,
+		params: p,
+		link:   newLink(k, p),
+		ifaces: make(map[HostID]*Iface),
+	}
+}
+
+// Kernel returns the kernel the network runs on.
+func (n *Network) Kernel() *sim.Kernel { return n.k }
+
+// Params returns the (defaulted) model parameters.
+func (n *Network) Params() Params { return n.params }
+
+// Link returns the shared Ethernet link, mainly for tests and utilization
+// probes.
+func (n *Network) Link() *Link { return n.link }
+
+// Attach creates (or returns the existing) interface for host h.
+func (n *Network) Attach(h HostID) *Iface {
+	if i, ok := n.ifaces[h]; ok {
+		return i
+	}
+	i := &Iface{
+		net:       n,
+		host:      h,
+		listeners: make(map[int]*Listener),
+		dgrams:    make(map[int]*sim.Queue[Datagram]),
+	}
+	n.ifaces[h] = i
+	return i
+}
+
+// Iface returns the interface for host h, or nil if never attached.
+func (n *Network) Iface(h HostID) *Iface { return n.ifaces[h] }

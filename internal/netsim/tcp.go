@@ -1,0 +1,210 @@
+package netsim
+
+import (
+	"errors"
+	"fmt"
+
+	"pvmigrate/internal/sim"
+)
+
+// Errors returned by the TCP model.
+var (
+	ErrConnClosed    = errors.New("netsim: connection closed")
+	ErrConnRefused   = errors.New("netsim: connection refused")
+	ErrPortInUse     = errors.New("netsim: port already in use")
+	ErrListenerClose = errors.New("netsim: listener closed")
+)
+
+// Segment is one application-level send on a TCP connection. The model
+// preserves message boundaries (the PVM layer frames its own messages; we
+// spare it the extra bookkeeping and document the simplification).
+type Segment struct {
+	Bytes     int
+	Payload   any
+	SentAt    sim.Time
+	ArrivedAt sim.Time
+}
+
+// Conn is one endpoint of an established connection.
+type Conn struct {
+	net    *Network
+	local  HostID
+	remote HostID
+	peer   *Conn
+	inbox  *sim.Queue[Segment]
+	closed bool
+	// lastArrival is the latest scheduled delivery into the peer's inbox;
+	// Close defers teardown until then, so in-flight data is not lost
+	// (TCP flushes queued data on close).
+	lastArrival sim.Time
+}
+
+// Listener accepts incoming connections on a host/port.
+type Listener struct {
+	iface   *Iface
+	port    int
+	pending *sim.Queue[*Conn]
+	closed  bool
+}
+
+// Listen binds a TCP listener to the given port on this interface.
+func (i *Iface) Listen(port int) (*Listener, error) {
+	if _, ok := i.listeners[port]; ok {
+		return nil, fmt.Errorf("%w: host %d port %d", ErrPortInUse, i.host, port)
+	}
+	l := &Listener{
+		iface:   i,
+		port:    port,
+		pending: sim.NewQueue[*Conn](i.net.k, 0),
+	}
+	i.listeners[port] = l
+	return l, nil
+}
+
+// Port returns the listener's port.
+func (l *Listener) Port() int { return l.port }
+
+// Accept blocks until a connection arrives and returns the server-side
+// endpoint.
+func (l *Listener) Accept(p *sim.Proc) (*Conn, error) {
+	c, err := l.pending.Get(p)
+	if err == sim.ErrQueueClosed {
+		return nil, ErrListenerClose
+	}
+	return c, err
+}
+
+// Close stops the listener; blocked Accepts return ErrListenerClose.
+func (l *Listener) Close() {
+	if l.closed {
+		return
+	}
+	l.closed = true
+	delete(l.iface.listeners, l.port)
+	l.pending.Close()
+}
+
+// Dial establishes a connection from this interface to dst:port. The caller
+// blocks for the handshake (~1.5 RTT) plus the configured setup cost. The
+// returned endpoint is ready for Send/Recv; the peer endpoint is delivered
+// to the destination's listener queue.
+func (i *Iface) Dial(p *sim.Proc, dst HostID, port int) (*Conn, error) {
+	di := i.net.ifaces[dst]
+	if di == nil {
+		return nil, fmt.Errorf("%w: no host %d", ErrConnRefused, dst)
+	}
+	l, ok := di.listeners[port]
+	if !ok || l.closed {
+		return nil, fmt.Errorf("%w: host %d port %d", ErrConnRefused, dst, port)
+	}
+	// Handshake: SYN, SYN-ACK, ACK → three small frames (or loopback), plus
+	// socket setup processing.
+	setup := i.net.params.TCPSetup
+	if dst != i.host {
+		for f := 0; f < 3; f++ {
+			end := i.net.link.reserve(40)
+			_ = end
+		}
+		setup += 3 * i.net.params.Latency
+	}
+	if err := p.Sleep(setup); err != nil {
+		return nil, err
+	}
+	k := i.net.k
+	client := &Conn{net: i.net, local: i.host, remote: dst, inbox: sim.NewQueue[Segment](k, 0)}
+	server := &Conn{net: i.net, local: dst, remote: i.host, inbox: sim.NewQueue[Segment](k, 0)}
+	client.peer, server.peer = server, client
+	if !l.pending.TryPut(server) {
+		return nil, ErrConnRefused
+	}
+	return client, nil
+}
+
+// Local returns the local host id.
+func (c *Conn) Local() HostID { return c.local }
+
+// Remote returns the peer host id.
+func (c *Conn) Remote() HostID { return c.remote }
+
+// Send transfers bytes of payload to the peer, blocking the sender at wire
+// pace: the payload is cut into MSS-sized frames, each individually queued
+// on the shared link, so concurrent transfers interleave fairly. The
+// segment is delivered to the peer's inbox when the last frame arrives.
+// Same-host connections pay loopback copy time instead of wire time.
+func (c *Conn) Send(p *sim.Proc, bytes int, payload any) error {
+	if c.closed {
+		return ErrConnClosed
+	}
+	seg := Segment{Bytes: bytes, Payload: payload, SentAt: p.Now()}
+	var arrival sim.Time
+	if c.remote == c.local {
+		d := loopbackTime(c.net.params, bytes)
+		if err := p.Sleep(d); err != nil {
+			return err
+		}
+		arrival = p.Now()
+	} else {
+		remaining := bytes
+		for {
+			frag := remaining
+			if frag > c.net.params.MSS {
+				frag = c.net.params.MSS
+			}
+			if frag < 0 {
+				frag = 0
+			}
+			if err := c.net.link.Transmit(p, frag); err != nil {
+				return err
+			}
+			remaining -= frag
+			if remaining <= 0 {
+				break
+			}
+		}
+		arrival = p.Now() + c.net.params.Latency
+	}
+	seg.ArrivedAt = arrival
+	if arrival > c.lastArrival {
+		c.lastArrival = arrival
+	}
+	peer := c.peer
+	c.net.k.ScheduleAt(arrival, func() {
+		peer.inbox.TryPut(seg) // no-op if the peer already tore down
+	})
+	return nil
+}
+
+// Recv blocks until a segment arrives and returns it.
+func (c *Conn) Recv(p *sim.Proc) (Segment, error) {
+	seg, err := c.inbox.Get(p)
+	if err == sim.ErrQueueClosed {
+		return Segment{}, ErrConnClosed
+	}
+	return seg, err
+}
+
+// TryRecv returns a queued segment without blocking.
+func (c *Conn) TryRecv() (Segment, bool) {
+	return c.inbox.TryGet()
+}
+
+// Close tears down this endpoint. Segments already sent still arrive (TCP
+// flushes on close); the peer's blocked Recv returns ErrConnClosed once its
+// inbox drains after the last in-flight segment lands.
+func (c *Conn) Close() {
+	if c.closed {
+		return
+	}
+	c.closed = true
+	c.inbox.Close()
+	peer := c.peer
+	if peer == nil || peer.closed {
+		return
+	}
+	peer.closed = true // no further sends from the peer either
+	if c.lastArrival > c.net.k.Now() {
+		c.net.k.ScheduleAt(c.lastArrival, func() { peer.inbox.Close() })
+	} else {
+		peer.inbox.Close()
+	}
+}

@@ -1,0 +1,132 @@
+package pvm
+
+import (
+	"fmt"
+
+	"pvmigrate/internal/core"
+)
+
+// ReduceOp combines two equal-length vectors elementwise (pvm_reduce's
+// PvmSum/PvmMax/PvmMin equivalents; custom functions are allowed, as in
+// PVM 3.3).
+type ReduceOp func(acc, v []float64)
+
+// Sum is the PvmSum reduction.
+func Sum(acc, v []float64) {
+	for i := range acc {
+		acc[i] += v[i]
+	}
+}
+
+// Max is the PvmMax reduction.
+func Max(acc, v []float64) {
+	for i := range acc {
+		if v[i] > acc[i] {
+			acc[i] = v[i]
+		}
+	}
+}
+
+// Min is the PvmMin reduction.
+func Min(acc, v []float64) {
+	for i := range acc {
+		if v[i] < acc[i] {
+			acc[i] = v[i]
+		}
+	}
+}
+
+// Reduce performs a group reduction (pvm_reduce): every member calls it
+// with its local vector; the member whose instance number is rootInst
+// receives the combined result (in member-instance order, so results are
+// deterministic); everyone else gets nil. All members must use the same
+// tag, op and vector length.
+func (t *Task) Reduce(group string, tag int, op ReduceOp, values []float64, rootInst int) ([]float64, error) {
+	members, err := t.GroupMembers(group)
+	if err != nil {
+		return nil, err
+	}
+	if rootInst < 0 || rootInst >= len(members) {
+		return nil, fmt.Errorf("pvm: reduce root instance %d out of range (%d members)", rootInst, len(members))
+	}
+	root := members[rootInst]
+	if t.tid != root {
+		buf := core.NewBuffer().PkFloat64s(values)
+		return nil, t.Send(root, tag, buf)
+	}
+	acc := append([]float64(nil), values...)
+	pending := make(map[core.TID][]float64, len(members)-1)
+	for received := 0; received < len(members)-1; received++ {
+		src, _, r, err := t.Recv(core.AnyTID, tag)
+		if err != nil {
+			return nil, err
+		}
+		v, err := r.UpkFloat64s()
+		if err != nil {
+			return nil, err
+		}
+		if len(v) != len(acc) {
+			return nil, fmt.Errorf("pvm: reduce length mismatch: %d vs %d", len(v), len(acc))
+		}
+		pending[src] = v
+	}
+	// Combine in instance order for a deterministic floating-point result.
+	for inst, m := range members {
+		if inst == rootInst {
+			continue
+		}
+		v, ok := pending[m]
+		if !ok {
+			return nil, fmt.Errorf("pvm: reduce missing contribution from %v", m)
+		}
+		op(acc, v)
+	}
+	return acc, nil
+}
+
+// Gather collects every member's vector at the root (pvm_gather), returned
+// in instance order. Non-roots get nil.
+func (t *Task) Gather(group string, tag int, values []float64, rootInst int) ([][]float64, error) {
+	members, err := t.GroupMembers(group)
+	if err != nil {
+		return nil, err
+	}
+	if rootInst < 0 || rootInst >= len(members) {
+		return nil, fmt.Errorf("pvm: gather root instance %d out of range", rootInst)
+	}
+	root := members[rootInst]
+	myInst := -1
+	for i, m := range members {
+		if m == t.tid {
+			myInst = i
+		}
+	}
+	if myInst < 0 {
+		return nil, fmt.Errorf("pvm: gather caller %v not in group %q", t.tid, group)
+	}
+	if t.tid != root {
+		buf := core.NewBuffer().PkInt(myInst).PkFloat64s(values)
+		return nil, t.Send(root, tag, buf)
+	}
+	out := make([][]float64, len(members))
+	out[rootInst] = append([]float64(nil), values...)
+	for received := 0; received < len(members)-1; received++ {
+		_, _, r, err := t.Recv(core.AnyTID, tag)
+		if err != nil {
+			return nil, err
+		}
+		inst, err := r.UpkInt()
+		if err != nil {
+			return nil, err
+		}
+		v, err := r.UpkFloat64s()
+		if err != nil {
+			return nil, err
+		}
+		if inst < 0 || inst >= len(out) || out[inst] != nil {
+			return nil, fmt.Errorf("pvm: gather bad or duplicate instance %d", inst)
+		}
+		out[inst] = v
+	}
+	return out, nil
+}

@@ -1,0 +1,148 @@
+package pvm
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"pvmigrate/internal/core"
+)
+
+// reduceSetup spawns n members that join a group, barrier, then run body.
+func reduceSetup(t *testing.T, nHosts, n int, body func(task *Task, inst int)) *Machine {
+	t.Helper()
+	k, m := testMachine(t, nHosts, Config{})
+	for i := 0; i < n; i++ {
+		host := i % nHosts
+		idx := i
+		m.Spawn(host, "member", func(task *Task) {
+			// Stagger joins so instance numbers are deterministic.
+			task.Proc().Sleep(time.Duration(idx) * 100 * time.Millisecond)
+			inst, err := task.JoinGroup("g")
+			if err != nil {
+				t.Errorf("join: %v", err)
+				return
+			}
+			if err := task.Barrier("g", n); err != nil {
+				t.Errorf("barrier: %v", err)
+				return
+			}
+			body(task, inst)
+		})
+	}
+	k.Run()
+	return m
+}
+
+func TestReduceSum(t *testing.T) {
+	var result []float64
+	reduceSetup(t, 2, 3, func(task *Task, inst int) {
+		local := []float64{float64(inst + 1), float64(10 * (inst + 1))}
+		res, err := task.Reduce("g", 7, Sum, local, 0)
+		if err != nil {
+			t.Errorf("reduce: %v", err)
+			return
+		}
+		if inst == 0 {
+			result = res
+		} else if res != nil {
+			t.Errorf("non-root got a result")
+		}
+	})
+	if len(result) != 2 || result[0] != 6 || result[1] != 60 {
+		t.Fatalf("sum = %v", result)
+	}
+}
+
+func TestReduceMaxMinAtNonZeroRoot(t *testing.T) {
+	var maxRes, minRes []float64
+	reduceSetup(t, 2, 4, func(task *Task, inst int) {
+		local := []float64{float64(inst), -float64(inst)}
+		mx, err := task.Reduce("g", 8, Max, local, 2)
+		if err != nil {
+			t.Errorf("max: %v", err)
+			return
+		}
+		mn, err := task.Reduce("g", 9, Min, local, 2)
+		if err != nil {
+			t.Errorf("min: %v", err)
+			return
+		}
+		if inst == 2 {
+			maxRes, minRes = mx, mn
+		}
+	})
+	if len(maxRes) != 2 || maxRes[0] != 3 || maxRes[1] != 0 {
+		t.Fatalf("max = %v", maxRes)
+	}
+	if len(minRes) != 2 || minRes[0] != 0 || minRes[1] != -3 {
+		t.Fatalf("min = %v", minRes)
+	}
+}
+
+func TestReduceDeterministicOrder(t *testing.T) {
+	// Floating-point sums depend on order; Reduce promises instance order.
+	run := func() []float64 {
+		var result []float64
+		reduceSetup(t, 3, 3, func(task *Task, inst int) {
+			local := []float64{math.Pi * float64(inst+1) * 1e-7}
+			res, err := task.Reduce("g", 5, Sum, local, 0)
+			if err != nil {
+				return
+			}
+			if inst == 0 {
+				result = res
+			}
+		})
+		return result
+	}
+	a, b := run(), run()
+	if len(a) != 1 || a[0] != b[0] {
+		t.Fatalf("non-deterministic reduce: %v vs %v", a, b)
+	}
+}
+
+func TestReduceBadRoot(t *testing.T) {
+	reduceSetup(t, 1, 2, func(task *Task, inst int) {
+		if _, err := task.Reduce("g", 1, Sum, []float64{1}, 9); err == nil {
+			t.Error("out-of-range root accepted")
+		}
+		// Drain: both members must still complete the group ops above.
+	})
+}
+
+func TestGather(t *testing.T) {
+	var rows [][]float64
+	reduceSetup(t, 2, 3, func(task *Task, inst int) {
+		local := []float64{float64(inst), float64(inst * inst)}
+		res, err := task.Gather("g", 4, local, 1)
+		if err != nil {
+			t.Errorf("gather: %v", err)
+			return
+		}
+		if inst == 1 {
+			rows = res
+		}
+	})
+	if len(rows) != 3 {
+		t.Fatalf("rows = %v", rows)
+	}
+	for i, row := range rows {
+		if len(row) != 2 || row[0] != float64(i) || row[1] != float64(i*i) {
+			t.Fatalf("row %d = %v", i, row)
+		}
+	}
+}
+
+func TestGatherNonMember(t *testing.T) {
+	k, m := testMachine(t, 1, Config{})
+	var err error
+	m.Spawn(0, "outsider", func(task *Task) {
+		_, err = task.Gather("nope", 1, []float64{1}, 0)
+	})
+	k.Run()
+	if err == nil {
+		t.Fatal("non-member gather succeeded")
+	}
+	_ = core.NoTID
+}

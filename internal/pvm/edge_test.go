@@ -1,0 +1,143 @@
+package pvm
+
+import (
+	"testing"
+	"time"
+
+	"pvmigrate/internal/core"
+)
+
+func TestDirectRouteFallsBackWhenPeerGone(t *testing.T) {
+	// A direct-route send to an exited task cannot dial; the message falls
+	// back to the daemon route and ends up held (not lost silently, not a
+	// crash).
+	k, m := testMachine(t, 2, Config{DirectRoute: true})
+	dead, _ := m.Spawn(1, "dead", func(task *Task) {})
+	var sendErr error
+	m.Spawn(0, "send", func(task *Task) {
+		task.Proc().Sleep(2 * time.Second)
+		sendErr = task.Send(dead.Mytid(), 0, core.NewBuffer().PkInt(1))
+	})
+	k.Run()
+	if sendErr != nil {
+		t.Fatalf("send errored instead of falling back: %v", sendErr)
+	}
+	if len(m.Daemon(1).HeldMessages()) != 1 {
+		t.Fatalf("held = %d", len(m.Daemon(1).HeldMessages()))
+	}
+}
+
+func TestSetDirectRouteMidStream(t *testing.T) {
+	k, m := testMachine(t, 2, Config{})
+	var got []int
+	recvr, _ := m.Spawn(1, "recv", func(task *Task) {
+		for i := 0; i < 4; i++ {
+			_, _, r, err := task.Recv(core.AnyTID, core.AnyTag)
+			if err != nil {
+				return
+			}
+			v, _ := r.UpkInt()
+			got = append(got, v)
+		}
+	})
+	m.Spawn(0, "send", func(task *Task) {
+		task.Send(recvr.Mytid(), 0, core.NewBuffer().PkInt(0))
+		task.Send(recvr.Mytid(), 0, core.NewBuffer().PkInt(1))
+		// Wait for the daemon-routed messages to drain before switching
+		// routes (cross-route ordering is not guaranteed, as in real PVM).
+		task.Proc().Sleep(time.Second)
+		task.SetDirectRoute(true)
+		task.Send(recvr.Mytid(), 0, core.NewBuffer().PkInt(2))
+		task.Send(recvr.Mytid(), 0, core.NewBuffer().PkInt(3))
+	})
+	k.Run()
+	if len(got) != 4 {
+		t.Fatalf("got %v", got)
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("order %v", got)
+		}
+	}
+}
+
+func TestProbeWithSrcFilter(t *testing.T) {
+	k, m := testMachine(t, 3, Config{})
+	var probeA, probeB bool
+	var senderA *Task
+	recvr, _ := m.Spawn(0, "recv", func(task *Task) {
+		task.Proc().Sleep(3 * time.Second)
+		probeA = task.Probe(senderA.Mytid(), core.AnyTag)
+		probeB = task.Probe(core.MakeTID(2, 1), core.AnyTag)
+	})
+	senderA, _ = m.Spawn(1, "a", func(task *Task) {
+		task.Send(recvr.Mytid(), 1, core.NewBuffer().PkInt(1))
+	})
+	k.Run()
+	if !probeA || probeB {
+		t.Fatalf("probeA=%v probeB=%v", probeA, probeB)
+	}
+}
+
+func TestBytesSentAccounting(t *testing.T) {
+	k, m := testMachine(t, 2, Config{})
+	recvr, _ := m.Spawn(1, "recv", func(task *Task) {
+		task.Recv(core.AnyTID, core.AnyTag)
+	})
+	var sender *Task
+	sender, _ = m.Spawn(0, "send", func(task *Task) {
+		task.Send(recvr.Mytid(), 0, core.NewBuffer().PkVirtual(12345))
+	})
+	k.Run()
+	if _, _, bytes := sender.Stats(); bytes != 12345 {
+		t.Fatalf("bytesSent = %d", bytes)
+	}
+}
+
+func TestDaemonAccessors(t *testing.T) {
+	k, m := testMachine(t, 2, Config{})
+	d := m.Daemon(1)
+	if d.TID() != core.DaemonTID(1) {
+		t.Fatalf("daemon tid = %v", d.TID())
+	}
+	if d.Machine() != m {
+		t.Fatal("daemon machine wrong")
+	}
+	if m.Daemon(-1) != nil || m.Daemon(5) != nil {
+		t.Fatal("out-of-range daemons not nil")
+	}
+	if m.NHosts() != 2 {
+		t.Fatalf("NHosts = %d", m.NHosts())
+	}
+	task, _ := m.Spawn(1, "t", func(task *Task) {
+		task.Proc().Sleep(time.Second)
+	})
+	if got := d.Tasks(); len(got) != 1 || got[0] != task {
+		t.Fatalf("Tasks = %v", got)
+	}
+	if task.Name() != "t" || task.Daemon() != d || task.Machine() != m {
+		t.Fatal("task accessors wrong")
+	}
+	k.Run()
+}
+
+func TestSendAfterExit(t *testing.T) {
+	k, m := testMachine(t, 1, Config{})
+	var err1, err2 error
+	m.Spawn(0, "quitter", func(task *Task) {
+		task.Exit()
+		err1 = task.Send(core.MakeTID(0, 1), 0, core.NewBuffer())
+		_, _, _, err2 = task.Recv(core.AnyTID, core.AnyTag)
+	})
+	k.Run()
+	if err1 != ErrTaskExited || err2 != ErrTaskExited {
+		t.Fatalf("errs: %v, %v", err1, err2)
+	}
+}
+
+func TestWireBytesIncludesHeader(t *testing.T) {
+	msg := &Message{Buf: core.NewBuffer().PkVirtual(100)}
+	if msg.WireBytes() != 100+msgHeaderBytes {
+		t.Fatalf("WireBytes = %d", msg.WireBytes())
+	}
+}

@@ -1,0 +1,138 @@
+package pvm
+
+import (
+	"testing"
+	"time"
+
+	"pvmigrate/internal/core"
+	"pvmigrate/internal/sim"
+)
+
+func TestJoinGroupInstances(t *testing.T) {
+	k, m := testMachine(t, 3, Config{})
+	insts := make(map[int]int)
+	for i := 0; i < 3; i++ {
+		host := i
+		m.Spawn(host, "member", func(task *Task) {
+			// Stagger joins deterministically by host so instance numbers
+			// are predictable.
+			task.Proc().Sleep(time.Duration(host) * time.Second)
+			inst, err := task.JoinGroup("workers")
+			if err != nil {
+				t.Errorf("join: %v", err)
+				return
+			}
+			insts[host] = inst
+		})
+	}
+	k.Run()
+	if len(insts) != 3 {
+		t.Fatalf("insts = %v", insts)
+	}
+	for host, inst := range insts {
+		if inst != host {
+			t.Fatalf("host %d got instance %d: %v", host, inst, insts)
+		}
+	}
+}
+
+func TestJoinGroupIdempotent(t *testing.T) {
+	k, m := testMachine(t, 1, Config{})
+	var a, b int
+	m.Spawn(0, "member", func(task *Task) {
+		a, _ = task.JoinGroup("g")
+		b, _ = task.JoinGroup("g")
+	})
+	k.Run()
+	if a != b {
+		t.Fatalf("re-join changed instance: %d vs %d", a, b)
+	}
+}
+
+func TestGroupSizeAndMembers(t *testing.T) {
+	k, m := testMachine(t, 2, Config{})
+	var size int
+	var members []core.TID
+	var t2 *Task
+	t1, _ := m.Spawn(0, "a", func(task *Task) {
+		task.JoinGroup("g")
+	})
+	t2, _ = m.Spawn(1, "b", func(task *Task) {
+		task.Proc().Sleep(time.Second)
+		task.JoinGroup("g")
+		size, _ = task.GroupSize("g")
+		members, _ = task.GroupMembers("g")
+	})
+	k.Run()
+	if size != 2 {
+		t.Fatalf("size = %d", size)
+	}
+	if len(members) != 2 || members[0] != t1.Mytid() || members[1] != t2.Mytid() {
+		t.Fatalf("members = %v", members)
+	}
+}
+
+func TestBarrierReleasesTogether(t *testing.T) {
+	k, m := testMachine(t, 3, Config{})
+	var releases []sim.Time
+	for i := 0; i < 3; i++ {
+		host := i
+		m.Spawn(host, "w", func(task *Task) {
+			task.JoinGroup("b")
+			task.Proc().Sleep(time.Duration(host*2) * time.Second)
+			if err := task.Barrier("b", 3); err != nil {
+				t.Errorf("barrier: %v", err)
+				return
+			}
+			releases = append(releases, task.Proc().Now())
+		})
+	}
+	k.Run() // daemons and acceptors legitimately stay parked
+	if len(releases) != 3 {
+		t.Fatalf("releases = %v", releases)
+	}
+	// All released at (approximately) the time the last member arrived.
+	last := releases[0]
+	for _, r := range releases {
+		if r > last {
+			last = r
+		}
+	}
+	if last < 4*time.Second {
+		t.Fatalf("barrier released before last arrival: %v", releases)
+	}
+	for _, r := range releases {
+		if last-r > 100*time.Millisecond {
+			t.Fatalf("staggered release: %v", releases)
+		}
+	}
+}
+
+func TestBcastReachesAllButSender(t *testing.T) {
+	k, m := testMachine(t, 3, Config{})
+	got := make(map[int]int)
+	for i := 0; i < 3; i++ {
+		host := i
+		m.Spawn(host, "w", func(task *Task) {
+			task.JoinGroup("g")
+			task.Barrier("g", 3)
+			if host == 0 {
+				if err := task.Bcast("g", 5, core.NewBuffer().PkInt(77)); err != nil {
+					t.Errorf("bcast: %v", err)
+				}
+				return
+			}
+			_, _, r, err := task.Recv(core.AnyTID, 5)
+			if err != nil {
+				t.Errorf("recv: %v", err)
+				return
+			}
+			v, _ := r.UpkInt()
+			got[host] = v
+		})
+	}
+	k.Run()
+	if len(got) != 2 || got[1] != 77 || got[2] != 77 {
+		t.Fatalf("got = %v", got)
+	}
+}

@@ -1,0 +1,185 @@
+// Package pvm implements a PVM 3.x-style message-passing substrate on the
+// simulated cluster: one pvmd daemon per host, tasks (virtual processors)
+// with tids, typed message buffers, blocking/non-blocking receive with
+// wildcards, daemon-routed and direct TCP-routed communication, process
+// spawning, and dynamic groups with barrier and broadcast.
+//
+// The package exposes the hook points (tid remapping, send interception,
+// signal handling, message forwarding) that the MPVM migration layer plugs
+// into, mirroring how MPVM was "transparently linked into the application"
+// as a library around stock PVM.
+package pvm
+
+import (
+	"fmt"
+	"time"
+
+	"pvmigrate/internal/cluster"
+	"pvmigrate/internal/core"
+	"pvmigrate/internal/sim"
+)
+
+// Well-known ports on each host.
+const (
+	pvmdPort     = 1    // daemon datagram port
+	taskPortBase = 1000 // task listen ports: taskPortBase + local id
+)
+
+// Config sets the substrate's cost model. Zero fields take defaults.
+type Config struct {
+	// PackBps is the memory bandwidth charged for packing/unpacking message
+	// buffers (one copy on each side), bytes/s.
+	PackBps float64
+	// LibCallOverhead is the fixed CPU cost of entering the run-time
+	// library (argument checking, buffer management).
+	LibCallOverhead sim.Time
+	// DaemonProcessing is the per-message CPU cost at each pvmd hop.
+	DaemonProcessing sim.Time
+	// SpawnCost is the fork+exec+enroll cost of starting a task.
+	SpawnCost sim.Time
+	// DirectRoute makes new tasks default to PvmRouteDirect (task-to-task
+	// TCP) instead of routing through the daemons.
+	DirectRoute bool
+}
+
+// DefaultConfig returns the calibrated 1994-workstation cost model.
+func DefaultConfig() Config {
+	return Config{
+		PackBps:          25e6,
+		LibCallOverhead:  60 * time.Microsecond,
+		DaemonProcessing: 250 * time.Microsecond,
+		SpawnCost:        280 * time.Millisecond,
+	}
+}
+
+func (c Config) withDefaults() Config {
+	d := DefaultConfig()
+	if c.PackBps == 0 {
+		c.PackBps = d.PackBps
+	}
+	if c.LibCallOverhead == 0 {
+		c.LibCallOverhead = d.LibCallOverhead
+	}
+	if c.DaemonProcessing == 0 {
+		c.DaemonProcessing = d.DaemonProcessing
+	}
+	if c.SpawnCost == 0 {
+		c.SpawnCost = d.SpawnCost
+	}
+	return c
+}
+
+// Message is one task-to-task message in flight.
+type Message struct {
+	Src, Dst core.TID
+	Tag      int
+	Buf      *core.Buffer
+	SentAt   sim.Time
+	// Hops counts daemon forwards, to detect routing loops in tests.
+	Hops int
+}
+
+// WireBytes returns the message's on-the-wire size (payload + header).
+func (m *Message) WireBytes() int { return m.Buf.Bytes() + msgHeaderBytes }
+
+const msgHeaderBytes = 40
+
+// Machine is the parallel virtual machine: the set of daemons over a
+// cluster. It corresponds to a running `pvmd` federation.
+type Machine struct {
+	cl      *cluster.Cluster
+	k       *sim.Kernel
+	cfg     Config
+	daemons []*Daemon
+	groups  *groupServer
+
+	spawnSeq  int
+	spawnWait map[int]*spawnPending
+}
+
+// NewMachine starts a pvmd on every host of the cluster.
+func NewMachine(cl *cluster.Cluster, cfg Config) *Machine {
+	m := &Machine{cl: cl, k: cl.Kernel(), cfg: cfg.withDefaults(),
+		spawnWait: make(map[int]*spawnPending)}
+	m.groups = newGroupServer(m)
+	for _, h := range cl.Hosts() {
+		m.daemons = append(m.daemons, newDaemon(m, h))
+	}
+	return m
+}
+
+// Cluster returns the underlying cluster.
+func (m *Machine) Cluster() *cluster.Cluster { return m.cl }
+
+// Kernel returns the simulation kernel.
+func (m *Machine) Kernel() *sim.Kernel { return m.k }
+
+// Config returns the (defaulted) cost model.
+func (m *Machine) Config() Config { return m.cfg }
+
+// Daemon returns the pvmd on host h.
+func (m *Machine) Daemon(h int) *Daemon {
+	if h < 0 || h >= len(m.daemons) {
+		return nil
+	}
+	return m.daemons[h]
+}
+
+// NHosts returns the number of hosts in the virtual machine.
+func (m *Machine) NHosts() int { return len(m.daemons) }
+
+// Spawn starts a task running body on the given host after the configured
+// spawn cost, returning its handle immediately (the tid is valid at once,
+// as with pvm_spawn). Body runs on the task's own simulated process.
+func (m *Machine) Spawn(host int, name string, body func(*Task)) (*Task, error) {
+	d := m.Daemon(host)
+	if d == nil {
+		return nil, fmt.Errorf("pvm: no host %d", host)
+	}
+	return d.spawnTask(name, body), nil
+}
+
+// TaskByTID finds a live task anywhere in the machine.
+func (m *Machine) TaskByTID(tid core.TID) *Task {
+	for _, d := range m.daemons {
+		if t := d.task(tid); t != nil {
+			return t
+		}
+	}
+	return nil
+}
+
+// ChargeCPU exposes the library cost-charging primitive to the migration
+// layers (mpvm, upvm), which have their own protocol CPU costs to account.
+func (m *Machine) ChargeCPU(p *sim.Proc, h *cluster.Host, d sim.Time) {
+	m.chargeCPU(p, h, d)
+}
+
+// chargeCPU burns d of CPU time worth of work on host for proc p,
+// contending with whatever else runs there. Library-internal work runs with
+// interrupts masked, so migration signals pend rather than tearing the
+// library state (the paper's re-entrancy flag).
+func (m *Machine) chargeCPU(p *sim.Proc, h *cluster.Host, d sim.Time) {
+	if d <= 0 {
+		return
+	}
+	work := sim.Seconds(d) * h.CPU().Speed()
+	for {
+		rem, err := h.CPU().Compute(p, work)
+		if err == nil {
+			return
+		}
+		// Interrupted (only possible for callers charging unmasked work):
+		// re-pend the signal so it surfaces at the next unmasked blocking
+		// point, and finish the remaining accounting work.
+		if ie, ok := sim.IsInterrupted(err); ok {
+			p.Interrupt(ie.Reason)
+		}
+		work = rem
+	}
+}
+
+// packTime returns the CPU time to copy n bytes through the packing layer.
+func (m *Machine) packTime(n int) sim.Time {
+	return sim.FromSeconds(float64(n) / m.cfg.PackBps)
+}

@@ -1,0 +1,95 @@
+package pvm
+
+import (
+	"fmt"
+
+	"pvmigrate/internal/core"
+)
+
+// Mcast sends buf to an explicit list of tasks (pvm_mcast). The wire cost
+// is one unicast per destination, as in PVM 3's default multicast.
+func (t *Task) Mcast(dsts []core.TID, tag int, buf *core.Buffer) error {
+	for _, dst := range dsts {
+		if dst == t.tid {
+			continue // pvm_mcast never sends to self
+		}
+		if err := t.Send(dst, tag, buf); err != nil {
+			return fmt.Errorf("pvm: mcast to %v: %w", dst, err)
+		}
+	}
+	return nil
+}
+
+// killSignal is the interrupt reason delivered to a killed task.
+type killSignal struct{ by core.TID }
+
+// Kill forcibly terminates the task with the given tid (pvm_kill): the
+// target is deregistered and its blocked operations return ErrTaskExited.
+func (t *Task) Kill(victim core.TID) error {
+	target := t.m.TaskByTID(victim)
+	if target == nil {
+		return fmt.Errorf("%w: %v", ErrBadTID, victim)
+	}
+	// Route a kill control message via the daemons (cost: one datagram),
+	// then the target's daemon delivers the signal.
+	t.host.Iface().SendDgram(taskPortBase+t.tid.Local(), t.host.ID(), pvmdPort,
+		32, &CtlMsg{Kind: "kill", From: t.tid, Payload: victim})
+	return nil
+}
+
+// handleKill executes a kill at the daemon owning the victim.
+func (m *Machine) handleKill(d *Daemon, c *CtlMsg) bool {
+	if c.Kind != "kill" {
+		return false
+	}
+	victim, ok := c.Payload.(core.TID)
+	if !ok {
+		return true
+	}
+	if victim.Host() != int(d.Host().ID()) {
+		// Forward toward the owning daemon.
+		d.SendCtl(victim.Host(), 32, c)
+		return true
+	}
+	target := d.task(victim)
+	if target == nil || target.exited {
+		return true
+	}
+	target.Exit()
+	target.proc.Interrupt(killSignal{by: c.From})
+	return true
+}
+
+// NotifyExit asks to receive a message with the given tag when the watched
+// task exits (pvm_notify with PvmTaskExit). If the task is already gone the
+// notification is delivered immediately.
+func (t *Task) NotifyExit(watched core.TID, tag int) error {
+	target := t.m.TaskByTID(watched)
+	if target == nil {
+		// Already exited (or never existed): notify at once, like PVM.
+		t.m.sendExitNotice(t.tid, watched, tag)
+		return nil
+	}
+	target.exitWatchers = append(target.exitWatchers, exitWatcher{who: t.tid, tag: tag})
+	return nil
+}
+
+type exitWatcher struct {
+	who core.TID
+	tag int
+}
+
+// sendExitNotice delivers a task-exit notification message. The buffer
+// carries the dead task's tid, as pvm_notify does.
+func (m *Machine) sendExitNotice(to, dead core.TID, tag int) {
+	d := m.Daemon(dead.Host())
+	if d == nil {
+		d = m.Daemon(0)
+	}
+	msg := &Message{
+		Src: core.DaemonTID(int(d.Host().ID())), Dst: to, Tag: tag,
+		Buf:    core.NewBuffer().PkInt(int(dead)),
+		SentAt: m.k.Now(),
+	}
+	d.Host().Iface().SendDgram(pvmdPort, d.Host().ID(), pvmdPort, msg.WireBytes(), msg)
+}

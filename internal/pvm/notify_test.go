@@ -1,0 +1,121 @@
+package pvm
+
+import (
+	"testing"
+	"time"
+
+	"pvmigrate/internal/core"
+)
+
+func TestMcastReachesAllButSelf(t *testing.T) {
+	k, m := testMachine(t, 3, Config{})
+	got := map[int]int{}
+	var all []core.TID
+	for i := 0; i < 3; i++ {
+		host := i
+		task, _ := m.Spawn(host, "w", func(task *Task) {
+			if host == 0 {
+				task.Proc().Sleep(time.Second) // let peers start
+				if err := task.Mcast(all, 9, core.NewBuffer().PkInt(5)); err != nil {
+					t.Errorf("mcast: %v", err)
+				}
+				return
+			}
+			_, _, r, err := task.Recv(core.AnyTID, 9)
+			if err != nil {
+				t.Errorf("recv: %v", err)
+				return
+			}
+			v, _ := r.UpkInt()
+			got[host] = v
+		})
+		all = append(all, task.Mytid())
+	}
+	k.Run()
+	if len(got) != 2 || got[1] != 5 || got[2] != 5 {
+		t.Fatalf("got = %v", got)
+	}
+}
+
+func TestKillTerminatesBlockedTask(t *testing.T) {
+	k, m := testMachine(t, 2, Config{})
+	var victimErr error
+	victim, _ := m.Spawn(1, "victim", func(task *Task) {
+		_, _, _, victimErr = task.Recv(core.AnyTID, core.AnyTag) // blocks forever
+	})
+	m.Spawn(0, "killer", func(task *Task) {
+		task.Proc().Sleep(2 * time.Second)
+		if err := task.Kill(victim.Mytid()); err != nil {
+			t.Errorf("kill: %v", err)
+		}
+	})
+	k.Run()
+	if !victim.Exited() {
+		t.Fatal("victim still registered")
+	}
+	if victimErr == nil {
+		t.Fatal("victim's blocked Recv returned no error")
+	}
+}
+
+func TestKillUnknownTask(t *testing.T) {
+	k, m := testMachine(t, 1, Config{})
+	var err error
+	m.Spawn(0, "killer", func(task *Task) {
+		err = task.Kill(core.MakeTID(0, 77))
+	})
+	k.Run()
+	if err == nil {
+		t.Fatal("killing a ghost succeeded")
+	}
+}
+
+func TestNotifyExitDeliversOnExit(t *testing.T) {
+	k, m := testMachine(t, 2, Config{})
+	var deadTID core.TID
+	var notifyAt int64
+	short, _ := m.Spawn(1, "short", func(task *Task) {
+		task.Proc().Sleep(3 * time.Second)
+	})
+	m.Spawn(0, "watcher", func(task *Task) {
+		if err := task.NotifyExit(short.Mytid(), 99); err != nil {
+			t.Errorf("notify: %v", err)
+			return
+		}
+		_, _, r, err := task.Recv(core.AnyTID, 99)
+		if err != nil {
+			t.Errorf("recv: %v", err)
+			return
+		}
+		v, _ := r.UpkInt()
+		deadTID = core.TID(v)
+		notifyAt = int64(task.Proc().Now())
+	})
+	k.Run()
+	if deadTID != short.Mytid() {
+		t.Fatalf("notified about %v, want %v", deadTID, short.Mytid())
+	}
+	if notifyAt < int64(3*time.Second) {
+		t.Fatalf("notified before exit: %d", notifyAt)
+	}
+}
+
+func TestNotifyExitOnAlreadyDeadTask(t *testing.T) {
+	k, m := testMachine(t, 1, Config{})
+	dead, _ := m.Spawn(0, "dead", func(task *Task) {})
+	got := false
+	m.Spawn(0, "watcher", func(task *Task) {
+		task.Proc().Sleep(2 * time.Second) // dead exits first
+		if err := task.NotifyExit(dead.Mytid(), 42); err != nil {
+			t.Errorf("notify: %v", err)
+			return
+		}
+		if _, _, _, err := task.Recv(core.AnyTID, 42); err == nil {
+			got = true
+		}
+	})
+	k.Run()
+	if !got {
+		t.Fatal("immediate notification for dead task not delivered")
+	}
+}

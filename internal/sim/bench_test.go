@@ -1,0 +1,47 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// The substrate's own performance: how fast the DES kernel processes events
+// and context-switches procs. These bound how large a simulated scenario
+// stays interactive.
+
+func BenchmarkKernelEventThroughput(b *testing.B) {
+	k := NewKernel()
+	for i := 0; i < b.N; i++ {
+		k.Schedule(time.Duration(i), func() {})
+	}
+	b.ResetTimer()
+	k.Run()
+}
+
+func BenchmarkProcContextSwitch(b *testing.B) {
+	k := NewKernel()
+	k.Spawn("switcher", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			p.Yield()
+		}
+	})
+	b.ResetTimer()
+	k.Run()
+}
+
+func BenchmarkQueueHandoff(b *testing.B) {
+	k := NewKernel()
+	q := NewQueue[int](k, 0)
+	k.Spawn("prod", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			q.Put(p, i)
+		}
+	})
+	k.Spawn("cons", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			q.Get(p)
+		}
+	})
+	b.ResetTimer()
+	k.Run()
+}

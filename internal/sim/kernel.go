@@ -1,0 +1,206 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+)
+
+// event is a single entry on the kernel's priority queue. An event either
+// wakes a blocked Proc (p != nil) or invokes a kernel-context callback
+// (fn != nil). Callbacks run inline in the event loop and must not block.
+type event struct {
+	at       Time
+	seq      uint64 // tie-breaker: schedule order
+	fn       func()
+	p        *Proc
+	gen      uint64 // wake generation the event targets (stale wakes are skipped)
+	canceled bool
+	index    int // heap index, -1 when popped
+}
+
+// Timer is a handle to a scheduled callback that can be canceled.
+type Timer struct{ ev *event }
+
+// Cancel prevents the timer's callback from running. Canceling an already
+// fired or already canceled timer is a no-op.
+func (t *Timer) Cancel() {
+	if t != nil && t.ev != nil {
+		t.ev.canceled = true
+	}
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Kernel is the discrete-event simulation engine. The zero value is not
+// usable; create kernels with NewKernel.
+type Kernel struct {
+	now     Time
+	seq     uint64
+	events  eventHeap
+	running *Proc
+	yield   chan struct{} // proc -> kernel: "I have blocked or finished"
+	procs   []*Proc
+	nextPID int
+	stopped bool
+}
+
+// NewKernel returns a kernel with the clock at time zero and no events.
+func NewKernel() *Kernel {
+	return &Kernel{yield: make(chan struct{})}
+}
+
+// Now returns the current virtual time.
+func (k *Kernel) Now() Time { return k.now }
+
+// Stop makes Run return after the event currently being processed.
+func (k *Kernel) Stop() { k.stopped = true }
+
+// Schedule arranges for fn to run in kernel context at now+d. fn must not
+// block; it may spawn procs, signal conditions and schedule further events.
+func (k *Kernel) Schedule(d Time, fn func()) *Timer {
+	if d < 0 {
+		d = 0
+	}
+	return k.scheduleAt(k.now+d, fn)
+}
+
+// ScheduleAt is Schedule with an absolute virtual time. Times in the past
+// are clamped to now.
+func (k *Kernel) ScheduleAt(at Time, fn func()) *Timer {
+	if at < k.now {
+		at = k.now
+	}
+	return k.scheduleAt(at, fn)
+}
+
+func (k *Kernel) scheduleAt(at Time, fn func()) *Timer {
+	k.seq++
+	e := &event{at: at, seq: k.seq, fn: fn}
+	heap.Push(&k.events, e)
+	return &Timer{ev: e}
+}
+
+// scheduleWake enqueues a wake event for p targeting its current blocking
+// generation.
+func (k *Kernel) scheduleWake(p *Proc, at Time, gen uint64) *event {
+	if at < k.now {
+		at = k.now
+	}
+	k.seq++
+	e := &event{at: at, seq: k.seq, p: p, gen: gen}
+	heap.Push(&k.events, e)
+	return e
+}
+
+// Run processes events until the queue is empty or Stop is called. It
+// returns the number of procs that remain blocked (a non-zero return with an
+// empty queue usually indicates a deadlock in the simulated system).
+func (k *Kernel) Run() int {
+	return k.run(-1)
+}
+
+// RunUntil processes all events with timestamps <= deadline, then sets the
+// clock to deadline. It returns the number of procs still blocked.
+func (k *Kernel) RunUntil(deadline Time) int {
+	n := k.run(deadline)
+	if k.now < deadline {
+		k.now = deadline
+	}
+	return n
+}
+
+func (k *Kernel) run(deadline Time) int {
+	k.stopped = false
+	for len(k.events) > 0 && !k.stopped {
+		if deadline >= 0 && k.events[0].at > deadline {
+			break
+		}
+		e := heap.Pop(&k.events).(*event)
+		if e.canceled {
+			continue
+		}
+		if e.at > k.now {
+			k.now = e.at
+		}
+		if e.fn != nil {
+			e.fn()
+			continue
+		}
+		p := e.p
+		if p.state != pBlocked || p.gen != e.gen {
+			continue // stale wake
+		}
+		k.dispatch(p)
+	}
+	return k.blockedCount()
+}
+
+// dispatch resumes p and waits until it blocks again or finishes.
+func (k *Kernel) dispatch(p *Proc) {
+	k.running = p
+	p.state = pRunning
+	p.run <- struct{}{}
+	<-k.yield
+	k.running = nil
+	if p.panicked != nil {
+		panic(fmt.Sprintf("sim: proc %q panicked: %v", p.name, p.panicked))
+	}
+	if p.state == pDone {
+		p.doneCond.Broadcast()
+	}
+}
+
+func (k *Kernel) blockedCount() int {
+	n := 0
+	for _, p := range k.procs {
+		if p.state == pBlocked {
+			n++
+		}
+	}
+	return n
+}
+
+// Blocked returns the names of procs that are currently blocked, sorted.
+// Intended for debugging deadlocks in tests.
+func (k *Kernel) Blocked() []string {
+	var names []string
+	for _, p := range k.procs {
+		if p.state == pBlocked {
+			names = append(names, p.name)
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Running returns the proc currently executing, or nil when the kernel
+// itself is running (event callbacks, in-between events).
+func (k *Kernel) Running() *Proc { return k.running }

@@ -1,0 +1,113 @@
+package sim
+
+import "errors"
+
+// ErrQueueClosed is returned by Queue operations after Close.
+var ErrQueueClosed = errors.New("sim: queue closed")
+
+// Queue is a FIFO channel between procs. A capacity of 0 means unbounded.
+// Get blocks while the queue is empty; Put blocks while a bounded queue is
+// full. Both are interrupt points.
+type Queue[T any] struct {
+	k        *Kernel
+	items    []T
+	cap      int
+	closed   bool
+	notEmpty *Cond
+	notFull  *Cond
+}
+
+// NewQueue returns a queue bound to k. cap <= 0 means unbounded.
+func NewQueue[T any](k *Kernel, cap int) *Queue[T] {
+	return &Queue[T]{k: k, cap: cap, notEmpty: NewCond(k), notFull: NewCond(k)}
+}
+
+// Len returns the number of queued items.
+func (q *Queue[T]) Len() int { return len(q.items) }
+
+// Closed reports whether Close has been called.
+func (q *Queue[T]) Closed() bool { return q.closed }
+
+// Put appends v, blocking while a bounded queue is full.
+func (q *Queue[T]) Put(p *Proc, v T) error {
+	for q.cap > 0 && len(q.items) >= q.cap && !q.closed {
+		if err := q.notFull.Wait(p); err != nil {
+			return err
+		}
+	}
+	if q.closed {
+		return ErrQueueClosed
+	}
+	q.items = append(q.items, v)
+	q.notEmpty.Signal()
+	return nil
+}
+
+// TryPut appends v without blocking; it reports whether the item was
+// accepted. Kernel-context callbacks (which cannot block) use this.
+func (q *Queue[T]) TryPut(v T) bool {
+	if q.closed || (q.cap > 0 && len(q.items) >= q.cap) {
+		return false
+	}
+	q.items = append(q.items, v)
+	q.notEmpty.Signal()
+	return true
+}
+
+// Get removes and returns the head item, blocking while the queue is empty.
+func (q *Queue[T]) Get(p *Proc) (T, error) {
+	var zero T
+	for len(q.items) == 0 {
+		if q.closed {
+			return zero, ErrQueueClosed
+		}
+		if err := q.notEmpty.Wait(p); err != nil {
+			return zero, err
+		}
+	}
+	v := q.items[0]
+	q.items = q.items[1:]
+	q.notFull.Signal()
+	return v, nil
+}
+
+// TryGet removes and returns the head item without blocking.
+func (q *Queue[T]) TryGet() (T, bool) {
+	var zero T
+	if len(q.items) == 0 {
+		return zero, false
+	}
+	v := q.items[0]
+	q.items = q.items[1:]
+	q.notFull.Signal()
+	return v, true
+}
+
+// Peek returns the head item without removing it.
+func (q *Queue[T]) Peek() (T, bool) {
+	var zero T
+	if len(q.items) == 0 {
+		return zero, false
+	}
+	return q.items[0], true
+}
+
+// Drain removes and returns all queued items.
+func (q *Queue[T]) Drain() []T {
+	out := q.items
+	q.items = nil
+	q.notFull.Broadcast()
+	return out
+}
+
+// Close marks the queue closed. Blocked and future Gets on an empty queue
+// and all Puts return ErrQueueClosed; items already queued can still be
+// retrieved.
+func (q *Queue[T]) Close() {
+	if q.closed {
+		return
+	}
+	q.closed = true
+	q.notEmpty.Broadcast()
+	q.notFull.Broadcast()
+}

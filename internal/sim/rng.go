@@ -1,0 +1,108 @@
+package sim
+
+import "math"
+
+// RNG is a small, fast, deterministic random number generator
+// (xorshift64* core with a splitmix64 seed scrambler). Each simulated
+// component owns its own stream so that adding randomness to one component
+// never perturbs another — a standard technique for reproducible
+// discrete-event experiments.
+type RNG struct {
+	s uint64
+	// cached second normal variate for NormFloat64 (Box-Muller pair)
+	haveNorm bool
+	norm     float64
+}
+
+// NewRNG returns a generator seeded from seed; any seed (including 0) gives
+// a usable stream.
+func NewRNG(seed uint64) *RNG {
+	r := &RNG{}
+	r.Seed(seed)
+	return r
+}
+
+// Seed re-initializes the stream.
+func (r *RNG) Seed(seed uint64) {
+	// splitmix64 scramble so nearby seeds give unrelated streams.
+	z := seed + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	if z == 0 {
+		z = 0x2545f4914f6cdd1d
+	}
+	r.s = z
+	r.haveNorm = false
+}
+
+// Uint64 returns the next 64 uniformly distributed bits.
+func (r *RNG) Uint64() uint64 {
+	x := r.s
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	r.s = x
+	return x * 0x2545f4914f6cdd1d
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform value in [0, n). It panics when n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("sim: Intn with n <= 0")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// ExpFloat64 returns an exponentially distributed value with mean 1.
+func (r *RNG) ExpFloat64() float64 {
+	for {
+		u := r.Float64()
+		if u > 0 {
+			return -math.Log(u)
+		}
+	}
+}
+
+// NormFloat64 returns a standard normal value (Box-Muller).
+func (r *RNG) NormFloat64() float64 {
+	if r.haveNorm {
+		r.haveNorm = false
+		return r.norm
+	}
+	for {
+		u1 := r.Float64()
+		u2 := r.Float64()
+		if u1 <= 0 {
+			continue
+		}
+		m := math.Sqrt(-2 * math.Log(u1))
+		r.norm = m * math.Sin(2*math.Pi*u2)
+		r.haveNorm = true
+		return m * math.Cos(2*math.Pi*u2)
+	}
+}
+
+// ExpDuration returns an exponentially distributed virtual duration with
+// the given mean. Used by load and owner-activity generators.
+func (r *RNG) ExpDuration(mean Time) Time {
+	return Time(float64(mean) * r.ExpFloat64())
+}
+
+// Perm returns a pseudo-random permutation of [0, n).
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}

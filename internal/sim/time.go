@@ -1,0 +1,27 @@
+// Package sim provides a deterministic discrete-event simulation kernel.
+//
+// The kernel advances a virtual clock by processing a priority queue of
+// events. Simulated activities run as Procs: cooperative coroutines backed
+// by goroutines, of which at most one executes at any instant. A Proc
+// performs simulated work by blocking in kernel primitives (Sleep, Cond.Wait,
+// Queue.Get, ...) which suspend the goroutine and hand control back to the
+// event loop.
+//
+// All of the higher layers of this repository — the network model, the
+// workstation cluster, the PVM substrate and the three migration systems —
+// are built on this kernel, so virtual timestamps are globally consistent
+// and every run is bit-for-bit reproducible.
+package sim
+
+import "time"
+
+// Time is an instant on the virtual clock, expressed as the duration since
+// the start of the simulation (time zero). Using time.Duration gives
+// convenient literals (3 * time.Second) and formatting for free.
+type Time = time.Duration
+
+// Seconds converts a virtual instant or duration to floating-point seconds.
+func Seconds(t Time) float64 { return t.Seconds() }
+
+// FromSeconds converts floating-point seconds to a virtual duration.
+func FromSeconds(s float64) Time { return Time(s * float64(time.Second)) }

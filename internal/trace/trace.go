@@ -1,0 +1,65 @@
+// Package trace records protocol stage timelines. The migration systems
+// emit one event per protocol stage, which reproduces the paper's Figure 1
+// (MPVM migration stages) and Figure 3 (UPVM migration stages) as textual
+// timelines with virtual timestamps.
+package trace
+
+import (
+	"fmt"
+	"strings"
+
+	"pvmigrate/internal/sim"
+)
+
+// Event is one timeline entry.
+type Event struct {
+	At     sim.Time
+	Actor  string // who performed the step (GS, mpvmd1, VP1, skeleton, ...)
+	Stage  string // protocol stage label
+	Detail string
+}
+
+// Log collects events in emission order.
+type Log struct {
+	events []Event
+}
+
+// Record appends an event.
+func (l *Log) Record(at sim.Time, actor, stage, detail string) {
+	l.events = append(l.events, Event{At: at, Actor: actor, Stage: stage, Detail: detail})
+}
+
+// Events returns the recorded events.
+func (l *Log) Events() []Event { return l.events }
+
+// Len returns the event count.
+func (l *Log) Len() int { return len(l.events) }
+
+// Stages returns the distinct stage labels in first-occurrence order.
+func (l *Log) Stages() []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, e := range l.events {
+		if !seen[e.Stage] {
+			seen[e.Stage] = true
+			out = append(out, e.Stage)
+		}
+	}
+	return out
+}
+
+// Timeline renders the log as an aligned textual timeline.
+func (l *Log) Timeline(title string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	if len(l.events) == 0 {
+		b.WriteString("  (no events)\n")
+		return b.String()
+	}
+	t0 := l.events[0].At
+	for _, e := range l.events {
+		fmt.Fprintf(&b, "  %10.4fs  %-10s %-22s %s\n",
+			sim.Seconds(e.At-t0), e.Actor, e.Stage, e.Detail)
+	}
+	return b.String()
+}

@@ -1,0 +1,41 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestLogRecordAndStages(t *testing.T) {
+	var l Log
+	l.Record(time.Second, "GS", "1:event", "go")
+	l.Record(2*time.Second, "d1", "2:flush", "")
+	l.Record(3*time.Second, "d1", "2:flush", "again")
+	if l.Len() != 3 {
+		t.Fatalf("len = %d", l.Len())
+	}
+	stages := l.Stages()
+	if len(stages) != 2 || stages[0] != "1:event" || stages[1] != "2:flush" {
+		t.Fatalf("stages = %v", stages)
+	}
+}
+
+func TestTimelineRendering(t *testing.T) {
+	var l Log
+	l.Record(time.Second, "GS", "1:event", "start")
+	l.Record(1500*time.Millisecond, "vp", "2:move", "bytes")
+	out := l.Timeline("My timeline")
+	for _, want := range []string{"My timeline", "0.0000s", "0.5000s", "GS", "2:move", "bytes"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("timeline missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTimelineEmpty(t *testing.T) {
+	var l Log
+	out := l.Timeline("empty")
+	if !strings.Contains(out, "no events") {
+		t.Fatalf("empty timeline = %q", out)
+	}
+}
