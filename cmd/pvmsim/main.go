@@ -8,18 +8,20 @@
 //	pvmsim -system mpvm -mb 9.8 -migrate-at 8s
 //	pvmsim -system adm -mb 4.2 -iters 8 -migrate-at 6s
 //	pvmsim -system upvm -hosts 3 -slaves 3 -mb 1.2
+//	pvmsim -system ft -hosts 8 -slaves 15 -crashes 3 -trace
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"pvmigrate/internal/harness"
 )
 
 func main() {
-	system := flag.String("system", "pvm", "pvm | mpvm | upvm | adm")
+	system := flag.String("system", "pvm", "pvm | mpvm | upvm | adm | ft")
 	mb := flag.Float64("mb", 0.6, "training-set size in MB")
 	hosts := flag.Int("hosts", 2, "workstation count")
 	slaves := flag.Int("slaves", 0, "slave VP count (default: one per host)")
@@ -28,8 +30,19 @@ func main() {
 	real := flag.Bool("real", false, "carry and crunch real exemplar data (keep -mb small)")
 	migrateAt := flag.Duration("migrate-at", 0, "virtual time to migrate the last slave (0 = never)")
 	migrateTo := flag.Int("migrate-to", 0, "destination host for the migration")
-	trace := flag.Bool("trace", false, "print the migration protocol stage timeline (mpvm/upvm)")
+	trace := flag.Bool("trace", false, "print the migration protocol stage timeline (mpvm/upvm) or the recovery timeline (ft)")
+	crashes := flag.Int("crashes", 0, "ft: number of seeded host crashes to inject")
+	outage := flag.Duration("outage", 0, "ft: revive each crashed host after this long (0 = stay down)")
+	crashFrom := flag.Duration("crash-from", 0, "ft: earliest crash time (default 5s)")
+	crashTo := flag.Duration("crash-to", 0, "ft: latest crash time (default 30s; short runs may finish before crashes land)")
 	flag.Parse()
+
+	if *system == "ft" {
+		runFT(ftConfig{hosts: *hosts, slaves: *slaves, mb: *mb, iters: *iters,
+			seed: *seed, real: *real, crashes: *crashes, outage: *outage,
+			crashFrom: *crashFrom, crashTo: *crashTo}, *trace)
+		return
+	}
 
 	sc := harness.Scenario{
 		Hosts:      *hosts,
@@ -94,5 +107,63 @@ func main() {
 	if timeline != "" {
 		fmt.Println()
 		fmt.Print(timeline)
+	}
+}
+
+type ftConfig struct {
+	hosts, slaves, iters, crashes int
+	mb                            float64
+	seed                          uint64
+	real                          bool
+	outage, crashFrom, crashTo    time.Duration
+}
+
+// runFT runs the fault-tolerance survival experiment: heartbeat detection,
+// coordinated checkpoints, and recovery from seeded host crashes.
+func runFT(c ftConfig, showTrace bool) {
+	out := harness.Survival(harness.SurvivalConfig{
+		Hosts:      c.hosts,
+		Slaves:     c.slaves,
+		TotalBytes: int(c.mb * 1e6),
+		Iterations: c.iters,
+		Seed:       c.seed,
+		Real:       c.real,
+		Crashes:    c.crashes,
+		Outage:     c.outage,
+		CrashFrom:  c.crashFrom,
+		CrashTo:    c.crashTo,
+	})
+	if out.Err != nil {
+		fmt.Fprintf(os.Stderr, "pvmsim: %v\n", out.Err)
+		os.Exit(1)
+	}
+	fmt.Printf("system: ft, %0.1f MB, %d hosts, %d iterations, %d injected crashes\n",
+		c.mb, c.hosts, out.Result.Iterations, len(out.Crashes))
+	if c.crashes > len(out.Crashes) {
+		fmt.Printf("note: %d of %d planned crashes landed after the run finished\n",
+			c.crashes-len(out.Crashes), c.crashes)
+	}
+	fmt.Printf("application runtime: %.2f s (virtual), %d coordinated checkpoints\n",
+		out.Elapsed.Seconds(), out.Checkpoints)
+	if c.real && len(out.Result.Losses) > 0 {
+		fmt.Printf("loss trajectory: %.4f → %.4f\n",
+			out.Result.Losses[0], out.Result.FinalLoss)
+	}
+	for _, cr := range out.Crashes {
+		fmt.Printf("crash: host%d down at %.2f s\n", cr.Host, cr.At.Seconds())
+	}
+	for _, r := range out.Recoveries {
+		fmt.Printf("recovery: host%d — detected +%.2f s, recovered +%.2f s, %d VPs respawned, %d iterations lost\n",
+			r.Host, (r.DetectedAt - r.CrashedAt).Seconds(),
+			(r.RecoveredAt - r.CrashedAt).Seconds(), r.RespawnedVPs, r.LostIterations)
+	}
+	if n := out.RecoverySecs.N(); n > 0 {
+		fmt.Printf("recovery time: mean %.2f s, p95 %.2f s over %d recoveries\n",
+			out.RecoverySecs.Mean(), out.RecoverySecs.Percentile(95), n)
+	}
+	if showTrace {
+		fmt.Println()
+		fmt.Print(out.Trace.Filter("fault:", "ft:", "ckpt:").
+			Timeline("fault / checkpoint / recovery timeline:"))
 	}
 }

@@ -146,12 +146,16 @@ func RunCheckpointed(p Params, evictAt sim.Time) (Result, error) {
 	p = p.withDefaults()
 	e := newEnv()
 	res := Result{}
-	ckptCost := sim.FromSeconds(float64(p.StateBytes) / p.DiskBps)
+	store := NewStore(e.k, p.DiskBps)
+	ckptCost := store.IOTime(p.StateBytes)
+	const key = "job"
+	// The initial image (progress 0) is on disk before the job starts, so a
+	// pre-first-checkpoint eviction restarts from scratch after a full read.
+	store.Seed(key, 0, p.StateBytes, 0.0)
 
 	var runErr error
 	job := e.k.Spawn("job", func(pr *sim.Proc) {
-		done := 0.0     // work completed at the current execution point
-		ckptDone := 0.0 // work captured in the last checkpoint
+		done := 0.0 // work completed at the current execution point
 		host := e.src
 
 		// recover runs the eviction path: kill, ship the last checkpoint,
@@ -171,10 +175,12 @@ func RunCheckpointed(p Params, evictAt sim.Time) (Result, error) {
 				runErr = err
 				return false
 			}
-			if err := pr.Sleep(ckptCost); err != nil { // read the checkpoint
+			snap, err := store.Read(pr, key) // read the checkpoint
+			if err != nil {
 				runErr = err
 				return false
 			}
+			ckptDone := snap.Payload.(float64)
 			res.Resumed = pr.Now() - evictAt
 			res.LostWorkFlops = done - ckptDone
 			done = ckptDone
@@ -202,8 +208,10 @@ func RunCheckpointed(p Params, evictAt sim.Time) (Result, error) {
 			if done >= p.WorkFlops {
 				break
 			}
-			// Freeze and write the checkpoint.
-			if err := pr.Sleep(ckptCost); err != nil {
+			// Freeze and write the checkpoint. An interrupted write commits
+			// nothing (the store's torn-write guarantee), so recovery falls
+			// back to the previous image.
+			if err := store.Write(pr, key, res.Checkpoints+1, p.StateBytes, done); err != nil {
 				if _, ok := sim.IsInterrupted(err); !ok {
 					runErr = err
 					return
@@ -215,7 +223,6 @@ func RunCheckpointed(p Params, evictAt sim.Time) (Result, error) {
 			}
 			res.CheckpointTime += ckptCost
 			res.Checkpoints++
-			ckptDone = done
 		}
 		res.Completion = pr.Now()
 	})

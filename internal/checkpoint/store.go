@@ -1,0 +1,100 @@
+package checkpoint
+
+import (
+	"fmt"
+
+	"pvmigrate/internal/sim"
+)
+
+// Snapshot is one committed checkpoint image.
+type Snapshot struct {
+	Key   string
+	Epoch int
+	// Bytes is the image size; it determines disk I/O time.
+	Bytes int
+	// Payload carries the simulated contents (by reference, like the rest
+	// of the model).
+	Payload   any
+	WrittenAt sim.Time
+}
+
+// Store is stable checkpoint storage: a keyed map of snapshots on a disk
+// whose bandwidth is charged to the calling process. Both the §5.0
+// Condor-style single-job policy (RunCheckpointed) and the coordinated
+// checkpoint protocol in internal/ft write through it.
+//
+// Writes are atomic: the snapshot installs only after the full disk time
+// elapses, so an interrupted (torn) write leaves the previous snapshot in
+// place — the property recovery depends on.
+type Store struct {
+	k       *sim.Kernel
+	diskBps float64
+	snaps   map[string]Snapshot
+
+	writes       int
+	bytesWritten int64
+	writeTime    sim.Time
+}
+
+// NewStore creates a store on kernel k with the given disk bandwidth
+// (bytes/s; <= 0 takes the 1994 SCSI default of 1.5 MB/s).
+func NewStore(k *sim.Kernel, diskBps float64) *Store {
+	if diskBps <= 0 {
+		diskBps = 1.5e6
+	}
+	return &Store{k: k, diskBps: diskBps, snaps: make(map[string]Snapshot)}
+}
+
+// IOTime returns the disk time for an image of the given size.
+func (st *Store) IOTime(bytes int) sim.Time {
+	return sim.FromSeconds(float64(bytes) / st.diskBps)
+}
+
+// Write charges the disk time to p, then installs the snapshot. On
+// interruption nothing is installed and the interrupt error is returned.
+func (st *Store) Write(p *sim.Proc, key string, epoch, bytes int, payload any) error {
+	d := st.IOTime(bytes)
+	if err := p.Sleep(d); err != nil {
+		return err
+	}
+	st.snaps[key] = Snapshot{Key: key, Epoch: epoch, Bytes: bytes, Payload: payload, WrittenAt: p.Now()}
+	st.writes++
+	st.bytesWritten += int64(bytes)
+	st.writeTime += d
+	return nil
+}
+
+// Seed installs a snapshot without charging disk time — the initial image
+// that exists before the job starts (e.g. the executable's data segment).
+func (st *Store) Seed(key string, epoch, bytes int, payload any) {
+	st.snaps[key] = Snapshot{Key: key, Epoch: epoch, Bytes: bytes, Payload: payload, WrittenAt: st.k.Now()}
+}
+
+// Read charges the disk time to re-read the latest snapshot for key and
+// returns it.
+func (st *Store) Read(p *sim.Proc, key string) (Snapshot, error) {
+	s, ok := st.snaps[key]
+	if !ok {
+		return Snapshot{}, fmt.Errorf("checkpoint: no snapshot for %q", key)
+	}
+	if err := p.Sleep(st.IOTime(s.Bytes)); err != nil {
+		return Snapshot{}, err
+	}
+	return s, nil
+}
+
+// Latest returns the latest snapshot for key without charging I/O time
+// (kernel-context peeking, e.g. deciding whether recovery is possible).
+func (st *Store) Latest(key string) (Snapshot, bool) {
+	s, ok := st.snaps[key]
+	return s, ok
+}
+
+// Writes returns how many charged writes committed.
+func (st *Store) Writes() int { return st.writes }
+
+// BytesWritten returns the total committed bytes.
+func (st *Store) BytesWritten() int64 { return st.bytesWritten }
+
+// WriteTime returns cumulative disk time spent in charged writes.
+func (st *Store) WriteTime() sim.Time { return st.writeTime }

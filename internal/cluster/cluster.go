@@ -41,10 +41,14 @@ type Host struct {
 	memUsedMB   int
 	ownerActive bool
 	ownerLoad   *LoadHandle
+	down        bool
 
 	// ownerWatchers are notified on owner arrival/departure (the global
 	// scheduler subscribes here).
 	ownerWatchers []func(h *Host, active bool)
+	// availWatchers are notified on host failure/recovery (the
+	// fault-tolerance layer subscribes here).
+	availWatchers []func(h *Host, alive bool)
 }
 
 // Cluster is the set of hosts plus the network connecting them.
@@ -179,3 +183,52 @@ func (h *Host) SetOwnerActive(active bool) {
 // LoadAverage returns the host's instantaneous run-queue length — what a
 // 1994 load daemon would sample for the global scheduler.
 func (h *Host) LoadAverage() int { return h.cpu.ActiveJobs() }
+
+// Alive reports whether the host is up. Hosts start alive; Fail and Recover
+// flip the state.
+func (h *Host) Alive() bool { return !h.down }
+
+// OnAvailChange registers a callback invoked (in kernel context) whenever
+// the host fails or recovers.
+func (h *Host) OnAvailChange(fn func(h *Host, alive bool)) {
+	h.availWatchers = append(h.availWatchers, fn)
+}
+
+// Fail takes the host down: it disappears from the network, loses its
+// memory contents (reservations are wiped — a crash frees everything), and
+// notifies availability watchers. Processes on the host are not killed here;
+// the PVM layer does that (Machine.CrashHost), since the cluster does not
+// know about tasks.
+func (h *Host) Fail() {
+	if h.down {
+		return
+	}
+	h.down = true
+	h.memUsedMB = 0
+	if h.ownerLoad != nil {
+		h.ownerLoad.Remove()
+		h.ownerLoad = nil
+	}
+	h.cluster.net.SetHostDown(h.id, true)
+	for _, fn := range h.availWatchers {
+		fn(h, false)
+	}
+}
+
+// Recover brings a failed host back up with empty memory, as after a
+// reboot. Owner state survives conceptually (the workstation still has an
+// owner) but any owner CPU load handle was lost with the crash, so it is
+// re-applied if the owner is present.
+func (h *Host) Recover() {
+	if !h.down {
+		return
+	}
+	h.down = false
+	h.cluster.net.SetHostDown(h.id, false)
+	if h.ownerActive && h.ownerLoad == nil {
+		h.ownerLoad = h.cpu.AddLoad()
+	}
+	for _, fn := range h.availWatchers {
+		fn(h, true)
+	}
+}

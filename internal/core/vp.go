@@ -46,12 +46,16 @@ type VP interface {
 // MigrationReason classifies why the global scheduler ordered a migration.
 type MigrationReason string
 
-// Migration trigger causes (paper §2.1 stage 1).
+// Migration trigger causes (paper §2.1 stage 1), plus the fault-tolerance
+// layer's host-loss events — the failure mode the paper's GS assumes away
+// (hosts are reclaimed, never lost) and internal/ft adds.
 const (
 	ReasonOwnerReclaim MigrationReason = "owner-reclaim"
 	ReasonHighLoad     MigrationReason = "high-load"
 	ReasonRebalance    MigrationReason = "rebalance"
 	ReasonManual       MigrationReason = "manual"
+	ReasonHostFailure  MigrationReason = "host-failure"
+	ReasonHostRejoin   MigrationReason = "host-rejoin"
 )
 
 // MigrationOrder is the command the global scheduler sends to a daemon:

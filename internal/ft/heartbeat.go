@@ -1,0 +1,73 @@
+package ft
+
+import (
+	"fmt"
+
+	"pvmigrate/internal/cluster"
+	"pvmigrate/internal/netsim"
+	"pvmigrate/internal/sim"
+)
+
+// BeatPort is the well-known UDP port for daemon heartbeats.
+const BeatPort = 97
+
+// beatBytes is the wire size of one heartbeat datagram.
+const beatBytes = 32
+
+type beat struct{ host int }
+
+// Detector is the GS-side heartbeat table: last beat arrival per host. It
+// implements gs.HeartbeatSource, so the scheduler's watch loop can turn
+// silence into host-dead declarations.
+type Detector struct {
+	last map[int]sim.Time
+}
+
+// LastHeard implements gs.HeartbeatSource.
+func (d *Detector) LastHeard(host int) (sim.Time, bool) {
+	t, ok := d.last[host]
+	return t, ok
+}
+
+// StartHeartbeats spawns one beat sender per host and the receiving
+// Detector on gsHost, all as kernel procs (they model daemon-internal
+// threads and survive nothing: a crashed host's sender just stops sending,
+// because it checks Host.Alive before each beat).
+//
+// The table starts primed with the current time for every host, so a host
+// is only suspected after a real silence, not at t=0.
+func StartHeartbeats(cl *cluster.Cluster, gsHost int, interval sim.Time) *Detector {
+	k := cl.Kernel()
+	det := &Detector{last: make(map[int]sim.Time)}
+	for _, h := range cl.Hosts() {
+		det.last[int(h.ID())] = k.Now()
+	}
+	q, _ := cl.Host(netsim.HostID(gsHost)).Iface().BindDgram(BeatPort)
+	k.Spawn("ft-detector", func(p *sim.Proc) {
+		for {
+			dg, err := q.Get(p)
+			if err != nil {
+				return
+			}
+			if b, ok := dg.Payload.(beat); ok {
+				det.last[b.host] = p.Now()
+			}
+		}
+	})
+	for _, h := range cl.Hosts() {
+		host := h
+		k.Spawn(fmt.Sprintf("hb-host%d", host.ID()), func(p *sim.Proc) {
+			for {
+				if err := p.Sleep(interval); err != nil {
+					return
+				}
+				if !host.Alive() {
+					continue // a crashed host falls silent
+				}
+				host.Iface().SendDgram(BeatPort, netsim.HostID(gsHost), BeatPort,
+					beatBytes, beat{host: int(host.ID())})
+			}
+		})
+	}
+	return det
+}

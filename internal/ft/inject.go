@@ -1,0 +1,158 @@
+package ft
+
+import (
+	"fmt"
+	"sort"
+
+	"pvmigrate/internal/netsim"
+	"pvmigrate/internal/pvm"
+	"pvmigrate/internal/sim"
+	"pvmigrate/internal/trace"
+)
+
+// FaultKind classifies an injected fault.
+type FaultKind string
+
+const (
+	// HostCrash fails the host and kills its daemon and tasks at one
+	// instant; with Outage > 0 the host revives that much later.
+	HostCrash FaultKind = "host-crash"
+	// HostRevive brings a failed host back: the machine reboots, a fresh
+	// daemon enrolls, heartbeats resume.
+	HostRevive FaultKind = "host-revive"
+	// LinkPartition splits the network into isolation groups.
+	LinkPartition FaultKind = "link-partition"
+	// LinkHeal removes any partition.
+	LinkHeal FaultKind = "link-heal"
+	// LinkLoss sets a seeded datagram loss rate on cross-host traffic.
+	LinkLoss FaultKind = "link-loss"
+)
+
+// Fault is one scheduled fault.
+type Fault struct {
+	At   sim.Time
+	Kind FaultKind
+	// Host applies to HostCrash / HostRevive.
+	Host int
+	// Outage, for HostCrash, schedules an automatic revive this long after
+	// the crash; zero means the host stays down.
+	Outage sim.Time
+	// Groups, for LinkPartition, maps hosts to isolation groups (absent
+	// hosts are group 0).
+	Groups map[netsim.HostID]int
+	// LossRate and LossSeed apply to LinkLoss.
+	LossRate float64
+	LossSeed uint64
+}
+
+// Plan is a fault schedule. Plans built from a seed are deterministic:
+// the same seed injects the same faults at the same virtual times.
+type Plan struct {
+	Faults []Fault
+}
+
+// CrashPlan builds a deterministic schedule of k host crashes: k distinct
+// hosts drawn from candidates, at times uniform over [from, to), each
+// reviving after outage (0 = stays down). Faults are returned in time order.
+func CrashPlan(seed uint64, candidates []int, k int, from, to, outage sim.Time) Plan {
+	rng := sim.NewRNG(seed)
+	if k > len(candidates) {
+		k = len(candidates)
+	}
+	perm := rng.Perm(len(candidates))
+	faults := make([]Fault, 0, k)
+	for i := 0; i < k; i++ {
+		at := from + sim.Time(rng.Float64()*float64(to-from))
+		faults = append(faults, Fault{
+			At: at, Kind: HostCrash, Host: candidates[perm[i]], Outage: outage,
+		})
+	}
+	sort.Slice(faults, func(a, b int) bool { return faults[a].At < faults[b].At })
+	return Plan{Faults: faults}
+}
+
+// CrashEvent records one executed host crash.
+type CrashEvent struct {
+	Host int
+	At   sim.Time
+}
+
+// Injector executes fault plans against a machine via kernel events.
+type Injector struct {
+	m       *pvm.Machine
+	log     *trace.Log
+	crashes []CrashEvent
+	onFault []func(Fault)
+}
+
+// NewInjector creates an injector for the machine; log may be nil.
+func NewInjector(m *pvm.Machine, log *trace.Log) *Injector {
+	return &Injector{m: m, log: log}
+}
+
+// OnFault registers a callback invoked (in kernel context) after each fault
+// is applied — the recovery Manager uses it to learn true crash times.
+func (inj *Injector) OnFault(fn func(Fault)) { inj.onFault = append(inj.onFault, fn) }
+
+// Crashes returns the host crashes executed so far, in time order.
+func (inj *Injector) Crashes() []CrashEvent { return inj.crashes }
+
+// Install schedules every fault in the plan on the kernel.
+func (inj *Injector) Install(plan Plan) {
+	k := inj.m.Kernel()
+	for _, f := range plan.Faults {
+		f := f
+		k.ScheduleAt(f.At, func() { inj.apply(f) })
+	}
+}
+
+func (inj *Injector) apply(f Fault) {
+	cl := inj.m.Cluster()
+	k := inj.m.Kernel()
+	switch f.Kind {
+	case HostCrash:
+		h := cl.Host(netsim.HostID(f.Host))
+		if h == nil || !h.Alive() {
+			return
+		}
+		// Machine level first (frames in flight start dropping), then the
+		// process level (daemon and tasks die).
+		h.Fail()
+		_ = inj.m.CrashHost(f.Host)
+		inj.crashes = append(inj.crashes, CrashEvent{Host: f.Host, At: k.Now()})
+		inj.record("fault:host-crash", fmt.Sprintf("host%d down (outage %v)", f.Host, f.Outage))
+		if f.Outage > 0 {
+			revive := Fault{Kind: HostRevive, Host: f.Host}
+			k.Schedule(f.Outage, func() { inj.apply(revive) })
+		}
+	case HostRevive:
+		h := cl.Host(netsim.HostID(f.Host))
+		if h == nil || h.Alive() {
+			return
+		}
+		h.Recover()
+		if _, err := inj.m.ReviveHost(f.Host); err != nil {
+			inj.record("fault:host-revive", fmt.Sprintf("host%d revive failed: %v", f.Host, err))
+			return
+		}
+		inj.record("fault:host-revive", fmt.Sprintf("host%d rejoined with a fresh daemon", f.Host))
+	case LinkPartition:
+		cl.Network().Partition(f.Groups)
+		inj.record("fault:link-partition", fmt.Sprintf("%d hosts regrouped", len(f.Groups)))
+	case LinkHeal:
+		cl.Network().Heal()
+		inj.record("fault:link-heal", "partition removed")
+	case LinkLoss:
+		cl.Network().SetLoss(f.LossRate, f.LossSeed)
+		inj.record("fault:link-loss", fmt.Sprintf("datagram loss %.2f", f.LossRate))
+	}
+	for _, fn := range inj.onFault {
+		fn(f)
+	}
+}
+
+func (inj *Injector) record(stage, detail string) {
+	if inj.log != nil {
+		inj.log.Record(inj.m.Kernel().Now(), "injector", stage, detail)
+	}
+}

@@ -1,0 +1,100 @@
+package gs
+
+import (
+	"sort"
+
+	"pvmigrate/internal/core"
+	"pvmigrate/internal/sim"
+)
+
+// Failure detection: the paper's GS assumes hosts are only ever *reclaimed*
+// by their owners; this file adds the case the paper concedes to Condor in
+// §5.0 — hosts that are *lost*. Daemons emit heartbeats (internal/ft runs
+// the senders and the receiving Detector); the scheduler scans the
+// detector's last-heard table and declares a host dead after SuspectAfter
+// of silence.
+//
+// The two conditions are distinguishable precisely because the heartbeat
+// comes from the daemon, not from guest work: an owner-reclaimed host still
+// runs its daemon and keeps beating, so it is evacuated (ReasonOwnerReclaim)
+// but never declared dead; only a crashed or partitioned host falls silent
+// (ReasonHostFailure). A host whose beats resume rejoins the pool
+// (ReasonHostRejoin) and becomes a placement candidate again.
+
+// HeartbeatSource is the detector the scheduler reads: typically ft.Detector
+// on the scheduler's host.
+type HeartbeatSource interface {
+	// LastHeard returns the virtual time a beat from host was last
+	// received, and whether the host is monitored at all.
+	LastHeard(host int) (sim.Time, bool)
+}
+
+// FailureTarget is the optional Target extension for declaring a host dead.
+// Targets that implement it (ft.Manager) run recovery: respawn the lost
+// VPs from their checkpoints and roll the job back. The return value is
+// the number of VPs respawned.
+type FailureTarget interface {
+	HostDead(host int) (int, error)
+}
+
+// RejoinTarget is the optional Target extension notified when a declared-
+// dead host's beats resume (after revival, or a healed partition).
+type RejoinTarget interface {
+	HostRejoined(host int)
+}
+
+// SetHeartbeatSource installs the detector; must be called before Start.
+func (s *Scheduler) SetHeartbeatSource(src HeartbeatSource) { s.hb = src }
+
+// DeadHosts returns the hosts currently declared dead, sorted.
+func (s *Scheduler) DeadHosts() []int {
+	var out []int
+	for h := range s.dead {
+		out = append(out, h)
+	}
+	sort.Ints(out)
+	return out
+}
+
+func (s *Scheduler) scheduleWatch() {
+	s.cl.Kernel().Schedule(s.policy.HeartbeatInterval, func() {
+		if s.stopped {
+			return
+		}
+		s.watchOnce()
+		s.scheduleWatch()
+	})
+}
+
+// watchOnce scans heartbeat ages and flips suspicion state.
+func (s *Scheduler) watchOnce() {
+	now := s.cl.Kernel().Now()
+	for _, h := range s.cl.Hosts() {
+		id := int(h.ID())
+		last, ok := s.hb.LastHeard(id)
+		if !ok {
+			continue
+		}
+		silent := now - last
+		if !s.dead[id] && silent > s.policy.SuspectAfter {
+			s.dead[id] = true
+			var moved int
+			var err error
+			if ft, ok := s.target.(FailureTarget); ok {
+				moved, err = ft.HostDead(id)
+			}
+			s.decisions = append(s.decisions, Decision{
+				At: now, Host: id, Dest: -1,
+				Reason: core.ReasonHostFailure, Moved: moved, Err: err,
+			})
+		} else if s.dead[id] && silent <= s.policy.SuspectAfter {
+			delete(s.dead, id)
+			if rt, ok := s.target.(RejoinTarget); ok {
+				rt.HostRejoined(id)
+			}
+			s.decisions = append(s.decisions, Decision{
+				At: now, Host: id, Dest: -1, Reason: core.ReasonHostRejoin,
+			})
+		}
+	}
+}

@@ -48,6 +48,13 @@ type Policy struct {
 	// PollInterval is the load-sampling period (the cadence at which 1994
 	// load daemons reported to the GS).
 	PollInterval sim.Time
+	// HeartbeatInterval, when > 0 together with SuspectAfter and an
+	// installed HeartbeatSource, is the cadence at which the scheduler
+	// scans daemon heartbeats (failure.go).
+	HeartbeatInterval sim.Time
+	// SuspectAfter is the heartbeat silence threshold beyond which a host
+	// is declared lost. It must comfortably exceed HeartbeatInterval.
+	SuspectAfter sim.Time
 }
 
 // DefaultPolicy reclaims on owner arrival and polls every 5 s.
@@ -62,6 +69,10 @@ type Scheduler struct {
 	policy    Policy
 	decisions []Decision
 	stopped   bool
+
+	// failure detection (failure.go)
+	hb   HeartbeatSource
+	dead map[int]bool
 }
 
 // New creates a scheduler over the cluster driving the given target.
@@ -69,7 +80,7 @@ func New(cl *cluster.Cluster, target Target, policy Policy) *Scheduler {
 	if policy.PollInterval == 0 {
 		policy.PollInterval = 5 * time.Second
 	}
-	return &Scheduler{cl: cl, target: target, policy: policy}
+	return &Scheduler{cl: cl, target: target, policy: policy, dead: make(map[int]bool)}
 }
 
 // Decisions returns the log of actions taken.
@@ -92,6 +103,9 @@ func (s *Scheduler) Start() {
 	if s.policy.LoadThreshold > 0 {
 		s.schedulePoll()
 	}
+	if s.policy.HeartbeatInterval > 0 && s.policy.SuspectAfter > 0 && s.hb != nil {
+		s.scheduleWatch()
+	}
 }
 
 func (s *Scheduler) schedulePoll() {
@@ -110,8 +124,11 @@ func (s *Scheduler) pollOnce() {
 	worst, worstLoad := -1, 0
 	best, bestLoad := -1, int(^uint(0)>>1)
 	for _, h := range s.cl.Hosts() {
-		load := h.LoadAverage()
 		id := int(h.ID())
+		if !h.Alive() || s.dead[id] {
+			continue // lost hosts neither shed nor receive load
+		}
+		load := h.LoadAverage()
 		if load > worstLoad && s.target.HostLoad(id) > 0 {
 			worst, worstLoad = id, load
 		}

@@ -76,13 +76,14 @@ func (t *MPVMTarget) MoveOne(from, to int, reason core.MigrationReason) error {
 	return fmt.Errorf("gs: no movable VP on host %d", from)
 }
 
-// bestDest picks the compatible, owner-free host with the lowest load.
+// bestDest picks the compatible, alive, owner-free host with the lowest
+// load.
 func (t *MPVMTarget) bestDest(mt *mpvm.MTask, exclude int) int {
 	cl := t.sys.Machine().Cluster()
 	best, bestLoad := -1, int(^uint(0)>>1)
 	for _, h := range cl.Hosts() {
 		id := int(h.ID())
-		if id == exclude || h.OwnerActive() || !mt.Host().MigrationCompatible(h) {
+		if id == exclude || !h.Alive() || h.OwnerActive() || !mt.Host().MigrationCompatible(h) {
 			continue
 		}
 		if load := h.LoadAverage(); load < bestLoad {

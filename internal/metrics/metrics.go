@@ -6,6 +6,7 @@ package metrics
 import (
 	"fmt"
 	"math"
+	"sort"
 	"strings"
 )
 
@@ -45,6 +46,36 @@ func (s *Series) Std() float64 {
 		ss += d * d
 	}
 	return math.Sqrt(ss / float64(n-1))
+}
+
+// Stddev returns the sample standard deviation. It is an alias for Std,
+// named to match the Percentile/Stddev pair the fault-tolerance reports use.
+func (s *Series) Stddev() float64 { return s.Std() }
+
+// Percentile returns the p-th percentile (0 <= p <= 100) using linear
+// interpolation between closest ranks, the same convention as numpy's
+// default. An empty series reports 0; p outside [0, 100] is clamped.
+func (s *Series) Percentile(p float64) float64 {
+	n := len(s.values)
+	if n == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), s.values...)
+	sort.Float64s(sorted)
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[n-1]
+	}
+	rank := p / 100 * float64(n-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
 }
 
 // Min and Max return the extremes (0 for an empty series).

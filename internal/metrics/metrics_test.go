@@ -27,6 +27,70 @@ func TestSeriesBasics(t *testing.T) {
 	}
 }
 
+func TestSeriesPercentile(t *testing.T) {
+	var empty Series
+	if empty.Percentile(50) != 0 {
+		t.Fatal("empty series percentile should be 0")
+	}
+	var s Series
+	// Added out of order: Percentile must sort a copy.
+	for _, v := range []float64{40, 10, 30, 20} {
+		s.Add(v)
+	}
+	cases := []struct{ p, want float64 }{
+		{-5, 10}, {0, 10}, {25, 17.5}, {50, 25}, {75, 32.5}, {100, 40}, {120, 40},
+	}
+	for _, c := range cases {
+		if got := s.Percentile(c.p); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("Percentile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	// Percentile must not reorder the underlying values.
+	if s.values[0] != 40 {
+		t.Fatal("Percentile mutated the series")
+	}
+	var one Series
+	one.Add(7)
+	if one.Percentile(95) != 7 {
+		t.Fatalf("single-value p95 = %v", one.Percentile(95))
+	}
+}
+
+func TestSeriesStddevAlias(t *testing.T) {
+	var s Series
+	for _, v := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(v)
+	}
+	if s.Stddev() != s.Std() {
+		t.Fatalf("Stddev %v != Std %v", s.Stddev(), s.Std())
+	}
+	var short Series
+	short.Add(3)
+	if short.Stddev() != 0 {
+		t.Fatal("n<2 stddev should be 0")
+	}
+}
+
+func TestPropSeriesPercentileWithinBounds(t *testing.T) {
+	f := func(vals []float64, p float64) bool {
+		var s Series
+		for _, v := range vals {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return true
+			}
+			s.Add(v)
+		}
+		if s.N() == 0 {
+			return true
+		}
+		q := s.Percentile(math.Mod(math.Abs(p), 100))
+		return q >= s.Min()-1e-9 && q <= s.Max()+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestPropSeriesMeanWithinBounds(t *testing.T) {
 	f := func(vals []float64) bool {
 		var s Series

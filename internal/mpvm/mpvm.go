@@ -121,7 +121,10 @@ type rpcPending struct {
 	reply any
 }
 
-// migration tracks one in-progress migration at the source mpvmd.
+// migration tracks one in-progress migration at the source mpvmd. The same
+// entry also carries a checkpoint flush (FlushAndHold): onFlushed non-nil
+// means stage 2 completes into the checkpoint protocol instead of
+// signalling a victim.
 type migration struct {
 	order     core.MigrationOrder
 	orig      core.TID
@@ -129,6 +132,7 @@ type migration struct {
 	acksWant  int
 	acksHave  int
 	offSource sim.Time
+	onFlushed func()
 }
 
 // New wraps a PVM machine with MPVM protocol support.
@@ -141,16 +145,30 @@ func New(m *pvm.Machine, cfg Config) *System {
 		migrations:  make(map[core.TID]*migration),
 		rpcWait:     make(map[int]*rpcPending),
 	}
-	for h := 0; h < m.NHosts(); h++ {
-		d := m.Daemon(h)
+	// Registered as a daemon-init hook (not set directly) so daemons created
+	// later by ReviveHost become mpvmds too.
+	m.OnDaemonInit(func(d *pvm.Daemon) {
 		d.Control = s.handleCtl
 		d.ForwardUnknown = s.forwardStale
-	}
+	})
 	return s
 }
 
 // Machine returns the underlying PVM machine.
 func (s *System) Machine() *pvm.Machine { return s.m }
+
+// aliveHosts counts hosts whose daemon can acknowledge a broadcast. Flush
+// barriers wait only on these: a crashed host never acks, and a flush that
+// waited for it would hang every checkpoint taken after a failure.
+func (s *System) aliveHosts() int {
+	n := 0
+	for _, h := range s.m.Cluster().Hosts() {
+		if h.Alive() {
+			n++
+		}
+	}
+	return n
+}
 
 // Config returns the (defaulted) migration cost model.
 func (s *System) Config() Config { return s.cfg }

@@ -42,15 +42,7 @@ type MTask struct {
 // against PVM runs unchanged ("source-code compatible — re-compile and
 // re-link").
 func (s *System) SpawnMigratable(host int, name string, stateBytes int, body func(*MTask)) (*MTask, error) {
-	mt := &MTask{
-		sys:            s,
-		stateBytes:     stateBytes,
-		tidMap:         make(map[core.TID]core.TID),
-		revMap:         make(map[core.TID]core.TID),
-		tidHistoryNext: make(map[core.TID]core.TID),
-		blockedDst:     make(map[core.TID]bool),
-		blockedCh:      sim.NewCond(s.m.Kernel()),
-	}
+	mt := s.newMTask(stateBytes)
 	task, err := s.m.Spawn(host, name, func(t *pvm.Task) {
 		body(mt)
 		// If the task finishes with a migration still pending against it
@@ -69,13 +61,30 @@ func (s *System) SpawnMigratable(host int, name string, stateBytes int, body fun
 	_ = task.Host().AllocMem(mt.memMB)
 	s.tasks[mt.orig] = mt
 	s.globalRemap[mt.orig] = mt.orig
+	s.linkHooks(mt, task)
+	return mt, nil
+}
 
-	// Link the MPVM library hooks into the task.
+// newMTask allocates the library-side state shared by SpawnMigratable and
+// Respawn.
+func (s *System) newMTask(stateBytes int) *MTask {
+	return &MTask{
+		sys:            s,
+		stateBytes:     stateBytes,
+		tidMap:         make(map[core.TID]core.TID),
+		revMap:         make(map[core.TID]core.TID),
+		tidHistoryNext: make(map[core.TID]core.TID),
+		blockedDst:     make(map[core.TID]bool),
+		blockedCh:      sim.NewCond(s.m.Kernel()),
+	}
+}
+
+// linkHooks links the MPVM library hooks into the task.
+func (s *System) linkHooks(mt *MTask, task *pvm.Task) {
 	task.SetResolver(mt.resolveTID)
 	task.SetSrcRemap(mt.remapSrc)
 	task.SetBeforeSend(mt.beforeSend)
 	task.SetOnSignal(mt.onSignal)
-	return mt, nil
 }
 
 // OrigTID returns the stable tid the application uses for this task.

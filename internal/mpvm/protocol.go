@@ -125,7 +125,7 @@ func (s *System) onMigrateCmd(d *pvm.Daemon, cmd *migrateCmd) {
 		order:    cmd.order,
 		orig:     cmd.orig,
 		start:    s.m.Kernel().Now(),
-		acksWant: s.m.NHosts(),
+		acksWant: s.aliveHosts(),
 	}
 	s.migrations[cmd.orig] = mig
 	s.trace(fmt.Sprintf("mpvmd%d", d.Host().ID()), "2:flush", "flush message to all processes")
@@ -162,6 +162,14 @@ func (s *System) onFlushAck(d *pvm.Daemon, ack *flushAck) {
 	mt := s.tasks[ack.orig]
 	if mt == nil || mt.Exited() {
 		s.cancelMigration(ack.orig, d)
+		return
+	}
+	if mig.onFlushed != nil {
+		// Checkpoint flush: the network is quiescent around the task; hand
+		// control to the checkpoint protocol. The entry stays in
+		// s.migrations until Release so senders remain blocked.
+		s.trace(fmt.Sprintf("mpvmd%d", d.Host().ID()), "2:flush-complete", "all acks received; checkpoint may proceed")
+		mig.onFlushed()
 		return
 	}
 	// The signal interrupts the process at an arbitrary execution point; if

@@ -1,0 +1,128 @@
+package mpvm
+
+import (
+	"errors"
+	"fmt"
+
+	"pvmigrate/internal/core"
+	"pvmigrate/internal/pvm"
+)
+
+// This file is MPVM's contribution to the fault-tolerance layer
+// (internal/ft): reusing the stage-2 message flush to quiesce traffic
+// around a task for a coordinated checkpoint, and re-creating a dead
+// task's incarnation from a checkpoint with the stage-4 tid-remap
+// broadcast — the paper's §5.0 observation that checkpointing buys what
+// migrate-current-state cannot, built from the same protocol pieces.
+
+// ErrStillAlive is returned by Respawn when the task's current incarnation
+// has not exited.
+var ErrStillAlive = errors.New("mpvm: task incarnation still alive")
+
+// FlushAndHold runs the migration protocol's stage 2 (flush) around orig
+// without migrating it: every host blocks sends to orig, and once all
+// hosts acknowledge, onFlushed is invoked in kernel context. Senders stay
+// blocked until Release. The checkpoint layer snapshots the task between
+// the two calls, knowing no application message is in flight toward it.
+func (s *System) FlushAndHold(orig core.TID, onFlushed func()) error {
+	mt, ok := s.tasks[orig]
+	if !ok {
+		return fmt.Errorf("%w: %v", ErrUnknownTask, orig)
+	}
+	if mt.migrating {
+		return fmt.Errorf("%w: %v", ErrAlreadyMoving, orig)
+	}
+	if _, busy := s.migrations[orig]; busy {
+		return fmt.Errorf("%w: %v", ErrAlreadyMoving, orig)
+	}
+	d := mt.Daemon()
+	mig := &migration{
+		orig:      orig,
+		start:     s.m.Kernel().Now(),
+		acksWant:  s.aliveHosts(),
+		onFlushed: onFlushed,
+	}
+	s.migrations[orig] = mig
+	s.trace(fmt.Sprintf("mpvmd%d", d.Host().ID()), "2:flush", "checkpoint flush to all processes")
+	for h := 0; h < s.m.NHosts(); h++ {
+		d.SendCtl(h, s.cfg.CtlBytes, &pvm.CtlMsg{Kind: "mpvm",
+			Payload: &flushCmd{orig: orig, srcHost: int(d.Host().ID())}})
+	}
+	return nil
+}
+
+// Release ends a FlushAndHold: a no-op restart (old tid = new tid) is
+// broadcast so flush-stalled senders resume.
+func (s *System) Release(orig core.TID) {
+	mt, ok := s.tasks[orig]
+	if !ok {
+		return
+	}
+	s.cancelMigration(orig, mt.Daemon())
+}
+
+// Respawn creates a fresh incarnation of a dead task from recovered state:
+// a new process is spawned on host, keyed to the same original tid, and a
+// restart broadcast re-points every library's tid map from the dead
+// incarnation to the new one — so peers keep using the tid they first
+// learned, exactly as across a migration. The body is responsible for
+// reloading application state (from the checkpoint store) before serving.
+func (s *System) Respawn(orig core.TID, host int, name string, stateBytes int, body func(*MTask)) (*MTask, error) {
+	old, ok := s.tasks[orig]
+	if !ok {
+		return nil, fmt.Errorf("%w: %v", ErrUnknownTask, orig)
+	}
+	if !old.Exited() {
+		return nil, fmt.Errorf("%w: %v", ErrStillAlive, orig)
+	}
+	oldCur := s.CurrentTID(orig)
+	// Any protocol state the dead incarnation left behind is void.
+	delete(s.migrations, orig)
+
+	nt := s.newMTask(stateBytes)
+	task, err := s.m.Spawn(host, name, func(t *pvm.Task) {
+		body(nt)
+		if _, pending := s.migrations[orig]; pending {
+			s.cancelMigration(orig, t.Daemon())
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	nt.Task = task
+	nt.orig = orig
+	nt.memMB = memMB(stateBytes)
+	_ = task.Host().AllocMem(nt.memMB)
+
+	// Preserve the dead incarnation's tid history (its own prior migrations)
+	// and chain its last tid to the new one, so stale in-flight messages
+	// still forward to the live incarnation.
+	for from, to := range old.tidHistoryNext {
+		nt.tidHistoryNext[from] = to
+	}
+	newTID := task.Mytid()
+	nt.tidHistoryNext[oldCur] = newTID
+	s.tasks[orig] = nt
+	s.globalRemap[orig] = newTID
+
+	// The fresh library starts from the machine's authoritative view of
+	// every other task (a respawned process re-learns the world from its
+	// mpvmd, not from history it no longer has).
+	for o, cur := range s.globalRemap {
+		if o == orig {
+			continue
+		}
+		nt.tidMap[o] = cur
+		nt.revMap[cur] = o
+	}
+	s.linkHooks(nt, task)
+
+	d := s.m.Daemon(host)
+	s.trace(fmt.Sprintf("mpvmd%d", host), "4:respawn",
+		fmt.Sprintf("%v re-incarnated as %v on host%d; broadcasting restart", orig, newTID, host))
+	for h := 0; h < s.m.NHosts(); h++ {
+		d.SendCtl(h, s.cfg.CtlBytes, &pvm.CtlMsg{Kind: "mpvm",
+			Payload: &restartCmd{orig: orig, oldTID: oldCur, newTID: newTID}})
+	}
+	return nt, nil
+}

@@ -8,8 +8,13 @@ import "pvmigrate/internal/sim"
 // Frames arrive with exponential gaps sized so the wire carries the target
 // utilization on average.
 type CrossTraffic struct {
+	k       *sim.Kernel
+	proc    *sim.Proc
 	stopped bool
 }
+
+// crossTrafficStop is the interrupt reason delivered to the sender proc.
+type crossTrafficStop struct{}
 
 // StartCrossTraffic begins injecting load at the given fraction of link
 // capacity (0 < utilization < 1). The sender alternates one-MSS frames with
@@ -18,12 +23,12 @@ func StartCrossTraffic(n *Network, seed uint64, utilization float64) *CrossTraff
 	if utilization <= 0 || utilization >= 1 {
 		panic("netsim: cross-traffic utilization must be in (0, 1)")
 	}
-	ct := &CrossTraffic{}
+	ct := &CrossTraffic{k: n.k}
 	rng := sim.NewRNG(seed)
 	frame := n.params.MSS
 	frameTime := n.link.frameTime(frame)
 	meanGap := sim.Time(float64(frameTime) * (1 - utilization) / utilization)
-	n.k.Spawn("cross-traffic", func(p *sim.Proc) {
+	ct.proc = n.k.Spawn("cross-traffic", func(p *sim.Proc) {
 		for !ct.stopped {
 			if err := n.link.Transmit(p, frame); err != nil {
 				return
@@ -36,5 +41,17 @@ func StartCrossTraffic(n *Network, seed uint64, utilization float64) *CrossTraff
 	return ct
 }
 
-// Stop ends the injection after the current frame.
-func (c *CrossTraffic) Stop() { c.stopped = true }
+// Stop ends the injection. The flag flip and the wake-up of the sender both
+// run as a kernel event, so the halt lands at a well-defined virtual time
+// regardless of which goroutine calls Stop.
+func (c *CrossTraffic) Stop() {
+	c.k.Schedule(0, func() {
+		if c.stopped {
+			return
+		}
+		c.stopped = true
+		if c.proc != nil && !c.proc.Done() {
+			c.proc.Interrupt(crossTrafficStop{})
+		}
+	})
+}

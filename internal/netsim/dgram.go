@@ -91,11 +91,25 @@ func (i *Iface) SendDgram(srcPort int, dst HostID, dstPort int, bytes int, paylo
 		if di == nil {
 			return // host never attached: drop
 		}
+		if i.net.dropDgram(d.Src, dst) {
+			return // host down, partitioned away, or random loss
+		}
 		if q, ok := di.dgrams[dstPort]; ok {
 			q.TryPut(d)
 		}
 		// No queue bound: drop, like UDP to a closed port.
 	})
+}
+
+// CloseDgram closes and unbinds the datagram queue on port, so a later
+// BindDgram gets a fresh queue. Reviving a crashed host's daemon needs this:
+// the dead daemon's queue was closed, and BindDgram alone would hand the
+// closed queue back.
+func (i *Iface) CloseDgram(port int) {
+	if q, ok := i.dgrams[port]; ok {
+		q.Close()
+		delete(i.dgrams, port)
+	}
 }
 
 func loopbackTime(p Params, bytes int) sim.Time {

@@ -100,6 +100,12 @@ type Network struct {
 	params Params
 	link   *Link
 	ifaces map[HostID]*Iface
+
+	// failure state, driven by the fault-injection layer (failures.go)
+	down     map[HostID]bool
+	group    map[HostID]int
+	lossRate float64
+	lossRNG  *sim.RNG
 }
 
 // New creates a network on kernel k with the given parameters.

@@ -13,6 +13,7 @@ var (
 	ErrConnRefused   = errors.New("netsim: connection refused")
 	ErrPortInUse     = errors.New("netsim: port already in use")
 	ErrListenerClose = errors.New("netsim: listener closed")
+	ErrUnreachable   = errors.New("netsim: host unreachable")
 )
 
 // Segment is one application-level send on a TCP connection. The model
@@ -93,6 +94,9 @@ func (i *Iface) Dial(p *sim.Proc, dst HostID, port int) (*Conn, error) {
 	if di == nil {
 		return nil, fmt.Errorf("%w: no host %d", ErrConnRefused, dst)
 	}
+	if !i.net.Reachable(i.host, dst) {
+		return nil, fmt.Errorf("%w: host %d -> %d", ErrUnreachable, i.host, dst)
+	}
 	l, ok := di.listeners[port]
 	if !ok || l.closed {
 		return nil, fmt.Errorf("%w: host %d port %d", ErrConnRefused, dst, port)
@@ -109,6 +113,9 @@ func (i *Iface) Dial(p *sim.Proc, dst HostID, port int) (*Conn, error) {
 	}
 	if err := p.Sleep(setup); err != nil {
 		return nil, err
+	}
+	if !i.net.Reachable(i.host, dst) {
+		return nil, fmt.Errorf("%w: host %d -> %d", ErrUnreachable, i.host, dst)
 	}
 	k := i.net.k
 	client := &Conn{net: i.net, local: i.host, remote: dst, inbox: sim.NewQueue[Segment](k, 0)}
@@ -134,6 +141,9 @@ func (c *Conn) Remote() HostID { return c.remote }
 func (c *Conn) Send(p *sim.Proc, bytes int, payload any) error {
 	if c.closed {
 		return ErrConnClosed
+	}
+	if !c.net.Reachable(c.local, c.remote) {
+		return fmt.Errorf("%w: host %d -> %d", ErrUnreachable, c.local, c.remote)
 	}
 	seg := Segment{Bytes: bytes, Payload: payload, SentAt: p.Now()}
 	var arrival sim.Time

@@ -60,6 +60,28 @@ func (t *CGTrainer) Direction(grad []float64) []float64 {
 	return t.dir
 }
 
+// TrainerState is a deep copy of the trainer's CG memory (previous gradient
+// and search direction), for checkpoint/rollback: restoring it and the net
+// replays training bit-for-bit from the snapshot point.
+type TrainerState struct {
+	PrevGrad []float64
+	Dir      []float64
+}
+
+// Snapshot captures the CG memory.
+func (t *CGTrainer) Snapshot() TrainerState {
+	return TrainerState{
+		PrevGrad: append([]float64(nil), t.prevGrad...),
+		Dir:      append([]float64(nil), t.dir...),
+	}
+}
+
+// Restore rewinds the CG memory to a snapshot.
+func (t *CGTrainer) Restore(s TrainerState) {
+	t.prevGrad = append([]float64(nil), s.PrevGrad...)
+	t.dir = append([]float64(nil), s.Dir...)
+}
+
 // LineSearch finds a step along dir that satisfies the Armijo condition,
 // evaluating the loss on the given set (forward passes only — much cheaper
 // than gradients). It returns the accepted step and the resulting loss, and

@@ -69,6 +69,24 @@ func SizedSet(totalBytes, dim, classes int, seed uint64) *ExemplarSet {
 	return GenerateExemplars(n, dim, classes, seed)
 }
 
+// NewExemplarSet wraps pre-existing flat storage as a set — the receiving
+// side of a shard transfer that crossed a package boundary (internal/ft
+// unpacks wire buffers into sets with this).
+func NewExemplarSet(dim, classes int, features []float64, labels []int) *ExemplarSet {
+	return &ExemplarSet{
+		Dim: dim, Classes: classes,
+		features: features,
+		labels:   labels,
+		ids:      make([]int, len(labels)),
+	}
+}
+
+// Features returns the flat Len()×Dim feature storage (shared, not copied).
+func (s *ExemplarSet) Features() []float64 { return s.features }
+
+// Labels returns the category labels (shared, not copied).
+func (s *ExemplarSet) Labels() []int { return s.labels }
+
 // Len returns the number of exemplars.
 func (s *ExemplarSet) Len() int { return len(s.labels) }
 

@@ -70,6 +70,11 @@ func (p Params) withDefaults() Params {
 	return p
 }
 
+// WithDefaults returns the params with unset fields filled in — for callers
+// outside the package (internal/ft) that re-implement the master/slave loop
+// and must agree with RunMaster on every defaulted value.
+func (p Params) WithDefaults() Params { return p.withDefaults() }
+
 // Cost returns the parameterized cost model.
 func (p Params) Cost() CostModel {
 	p = p.withDefaults()

@@ -95,6 +95,9 @@ type Machine struct {
 
 	spawnSeq  int
 	spawnWait map[int]*spawnPending
+
+	// daemonInit hooks are re-applied to daemons created by ReviveHost.
+	daemonInit []func(*Daemon)
 }
 
 // NewMachine starts a pvmd on every host of the cluster.

@@ -48,6 +48,22 @@ func (l *Log) Stages() []string {
 	return out
 }
 
+// Filter returns a new Log holding only events whose stage starts with one
+// of the given prefixes (e.g. "ft:", "ckpt:", "fault:" for the recovery
+// timeline of a fault-tolerant run).
+func (l *Log) Filter(prefixes ...string) *Log {
+	out := &Log{}
+	for _, e := range l.events {
+		for _, p := range prefixes {
+			if strings.HasPrefix(e.Stage, p) {
+				out.events = append(out.events, e)
+				break
+			}
+		}
+	}
+	return out
+}
+
 // Timeline renders the log as an aligned textual timeline.
 func (l *Log) Timeline(title string) string {
 	var b strings.Builder
