@@ -1,0 +1,267 @@
+// Package chaos is a deterministic interleaving explorer for the concurrent
+// reclaim / crash-recovery protocols, plus the invariant checkers that audit
+// each explored schedule.
+//
+// The simulation kernel is already deterministic for a fixed event set; what
+// chaos adds is *controlled variation*: a seeded tie-breaker (sim.Kernel.
+// SetTieBreakSeed) permutes the service order of same-instant events, and a
+// seeded fault-timing sweeper slides crash / reclaim / partition instants
+// across a scenario's protocol windows (detection, flush, skeleton start,
+// state transfer, rollback). One seed therefore names one complete schedule:
+// any invariant violation found by a sweep is reproduced, exactly, by
+// re-running its single seed (go test ./internal/chaos -run TestSeed -seed N).
+//
+// Every run is audited by five checkers (checkers.go): epoch monotonicity,
+// at-most-one live incarnation per stable tid, VP conservation, checkpoint
+// commit monotonicity, and seed-determinism. DESIGN.md §"Concurrency
+// invariants" maps each checker to the protocol rule it enforces.
+package chaos
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"pvmigrate/internal/cluster"
+	"pvmigrate/internal/ft"
+	"pvmigrate/internal/gs"
+	"pvmigrate/internal/mpvm"
+	"pvmigrate/internal/netsim"
+	"pvmigrate/internal/opt"
+	"pvmigrate/internal/pvm"
+	"pvmigrate/internal/sim"
+	"pvmigrate/internal/trace"
+)
+
+// Config sets one exploration run. The zero value takes the defaults below.
+type Config struct {
+	// Seed names the schedule: it feeds both the kernel tie-breaker and the
+	// scenario's fault-timing windows.
+	Seed uint64
+	// Hosts is the cluster size (default 5). Host 0 carries the GS, the
+	// checkpoint store, and the job master.
+	Hosts int
+	// Iterations is the training length (default 10).
+	Iterations int
+	// CheckpointEvery is the coordinated-checkpoint period (default 2).
+	CheckpointEvery int
+	// Real switches the job to real Opt math, so FinalLoss is a bit-exact
+	// fingerprint of every gradient the master applied (default false:
+	// cost-model mode, faster for wide sweeps).
+	Real bool
+	// Deadline caps virtual time; a run that has not finished by then is a
+	// liveness failure (default 30 virtual minutes).
+	Deadline sim.Time
+}
+
+func (c Config) withDefaults() Config {
+	if c.Hosts == 0 {
+		c.Hosts = 5
+	}
+	if c.Iterations == 0 {
+		c.Iterations = 10
+	}
+	if c.CheckpointEvery == 0 {
+		c.CheckpointEvery = 2
+	}
+	if c.Deadline == 0 {
+		c.Deadline = 30 * time.Minute
+	}
+	return c
+}
+
+// Scenario is one fault shape whose instants the sweeper slides per seed.
+type Scenario struct {
+	Name string
+	// Build draws the seed's fault schedule and owner-activity changes from
+	// one timing stream (derived from the run seed, independent of the
+	// kernel tie-break stream), so correlated instants — a crash offset
+	// from the reclaim it races — stay correlated as the seed sweeps.
+	Build func(cfg Config, rng *sim.RNG) ([]ft.Fault, []OwnerChange)
+}
+
+// OwnerChange flips a host's owner-active state at a virtual instant.
+type OwnerChange struct {
+	At     sim.Time
+	Host   int
+	Active bool
+}
+
+// Result is one explored schedule plus the handles the checkers audit.
+type Result struct {
+	Scenario string
+	Seed     uint64
+
+	// Job outcome.
+	Done       bool
+	Err        error
+	Iterations int
+	FinalLoss  float64
+	FinishedAt sim.Time
+
+	// Introspection for the checkers.
+	Sys   *mpvm.System
+	Mgr   *ft.Manager
+	Job   *ft.Job
+	Sched *gs.Scheduler
+	Log   *trace.Log
+
+	// Faults actually installed (time-ordered), for failure reports.
+	Faults []ft.Fault
+}
+
+// Fingerprint condenses the schedule-visible outcome of a run into a
+// comparable value: two runs of the same seed must produce equal
+// fingerprints (the determinism invariant).
+type Fingerprint struct {
+	Done       bool
+	Iterations int
+	LossBits   uint64
+	FinishedAt sim.Time
+	Migrations int
+	Recoveries int
+	Commits    string
+}
+
+// Fingerprint builds the run's determinism fingerprint.
+func (r *Result) Fingerprint() Fingerprint {
+	commits := ""
+	for _, c := range r.Mgr.Store().Commits() {
+		commits += fmt.Sprintf("%s@%d;", c.Key, c.Epoch)
+	}
+	return Fingerprint{
+		Done:       r.Done,
+		Iterations: r.Iterations,
+		LossBits:   math.Float64bits(r.FinalLoss),
+		FinishedAt: r.FinishedAt,
+		Migrations: len(r.Sys.Records()),
+		Recoveries: len(r.Mgr.Records()),
+		Commits:    commits,
+	}
+}
+
+// faultRNG derives the fault-timing stream from the run seed. It is salted
+// differently from the kernel tie-break stream (which uses the seed
+// directly) so timing and ordering vary independently.
+func faultRNG(seed uint64) *sim.RNG {
+	return sim.NewRNG(seed*0x9e3779b97f4a7c15 + 0x7368616b656f7574)
+}
+
+// Run executes one scenario under one seed and returns the audited handles.
+// The cluster: Hosts workstations, host 0 carrying GS + store + master, two
+// slave VPs on every other host.
+func Run(sc Scenario, cfg Config) *Result {
+	cfg = cfg.withDefaults()
+	k := sim.NewKernel()
+	k.SetTieBreakSeed(cfg.Seed)
+
+	specs := make([]cluster.HostSpec, cfg.Hosts)
+	for i := range specs {
+		specs[i] = cluster.DefaultHostSpec(fmt.Sprintf("h%d", i))
+	}
+	cl := cluster.New(k, netsim.Params{}, specs...)
+	m := pvm.NewMachine(cl, pvm.Config{})
+	sys := mpvm.New(m, mpvm.Config{})
+	log := &trace.Log{}
+	mgr := ft.NewManager(sys, ft.Config{CheckpointEvery: cfg.CheckpointEvery}, log)
+	det := ft.StartHeartbeats(cl, 0, mgr.Config().HeartbeatInterval)
+	sched := gs.New(cl, mgr, gs.Policy{
+		ReclaimOnOwner:    true,
+		HeartbeatInterval: mgr.Config().HeartbeatInterval,
+		SuspectAfter:      mgr.Config().SuspectAfter,
+	})
+	sched.SetHeartbeatSource(det)
+
+	var faults []ft.Fault
+	var owners []OwnerChange
+	if sc.Build != nil {
+		faults, owners = sc.Build(cfg, faultRNG(cfg.Seed))
+	}
+	inj := ft.NewInjector(m, log)
+	inj.OnFault(mgr.ObserveFault)
+	inj.Install(ft.Plan{Faults: faults})
+	for _, oc := range owners {
+		oc := oc
+		k.ScheduleAt(oc.At, func() { cl.Host(netsim.HostID(oc.Host)).SetOwnerActive(oc.Active) })
+	}
+
+	// settleAfter covers the tail of the fault plan past job completion:
+	// a heal landing after the job finishes still needs detection plus a
+	// few watch ticks for the rejoin (and orphan reaping) to run.
+	var lastEvent sim.Time
+	for _, f := range faults {
+		if f.At > lastEvent {
+			lastEvent = f.At
+		}
+		if f.Outage > 0 && f.At+f.Outage > lastEvent {
+			lastEvent = f.At + f.Outage
+		}
+	}
+	for _, oc := range owners {
+		if oc.At > lastEvent {
+			lastEvent = oc.At
+		}
+	}
+	settleUntil := lastEvent + 3*mgr.Config().SuspectAfter
+
+	res := &Result{Scenario: sc.Name, Seed: cfg.Seed,
+		Sys: sys, Mgr: mgr, Sched: sched, Log: log, Faults: faults}
+	opts := opt.Params{Iterations: cfg.Iterations}
+	if cfg.Real {
+		opts.Real = true
+		opts.InputDim = 4
+		opts.Hidden = 4
+		opts.Classes = 2
+		// Sized (with the virtual-cost multiplier) so the 10-iteration job
+		// spans ~20 virtual seconds: the scenarios' 4–10 s fault windows
+		// then land mid-computation (iterations 2–5), not after the done
+		// broadcast. Overhead inflates only the *virtual* CPU charge, so
+		// wide sweeps stay cheap in wall-clock.
+		opts.TotalBytes = 100_000
+		opts.Overhead = 90
+		opts.Seed = 7
+	} else {
+		opts.TotalBytes = 400_000
+	}
+	slaveHosts := make([]int, 0, 2*(cfg.Hosts-1))
+	for round := 0; round < 2; round++ {
+		for h := 1; h < cfg.Hosts; h++ {
+			slaveHosts = append(slaveHosts, h)
+		}
+	}
+	job, err := ft.StartJob(mgr, ft.JobSpec{
+		Opt:        opts,
+		MasterHost: 0,
+		SlaveHosts: slaveHosts,
+		OnFinish: func(out *ft.JobResult) {
+			stopAt := k.Now() + 2*time.Second
+			if settleUntil > stopAt {
+				stopAt = settleUntil
+			}
+			k.ScheduleAt(stopAt, func() { k.Stop() })
+		},
+	})
+	if err != nil {
+		res.Err = err
+		return res
+	}
+	res.Job = job
+	sched.Start()
+	k.RunUntil(cfg.Deadline)
+
+	out := job.Out()
+	res.Done = out.Done
+	res.Err = out.Err
+	res.FinishedAt = out.FinishedAt
+	if out.Result != nil {
+		res.Iterations = out.Result.Iterations
+		res.FinalLoss = out.Result.FinalLoss
+	}
+	if !out.Done && res.Err == nil {
+		res.Err = fmt.Errorf("chaos: job not finished by deadline %v", cfg.Deadline)
+	}
+	return res
+}
+
+// slaveCount returns how many slave VPs Run spawns for cfg.
+func slaveCount(cfg Config) int { return 2 * (cfg.withDefaults().Hosts - 1) }

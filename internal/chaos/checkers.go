@@ -1,0 +1,160 @@
+package chaos
+
+import (
+	"fmt"
+	"strings"
+)
+
+// A Checker audits one protocol invariant over a finished run. It returns
+// nil when the invariant holds, or an error naming the violation — always
+// reproducible by the run's (scenario, seed) pair.
+type Checker struct {
+	Name  string
+	Check func(*Result) error
+}
+
+// Checkers is the full audit set applied to every explored schedule. The
+// determinism invariant is checked separately (CheckDeterminism) because it
+// needs a second run of the same seed, not just this run's state.
+var Checkers = []Checker{
+	{"liveness", checkLiveness},
+	{"epoch-monotonic", checkEpochMonotonic},
+	{"single-incarnation", checkSingleIncarnation},
+	{"vp-conservation", checkVPConservation},
+	{"commit-monotonic", checkCommitMonotonic},
+}
+
+// CheckAll runs every checker and joins the violations.
+func CheckAll(r *Result) error {
+	var errs []string
+	for _, c := range Checkers {
+		if err := c.Check(r); err != nil {
+			errs = append(errs, fmt.Sprintf("%s: %v", c.Name, err))
+		}
+	}
+	if len(errs) == 0 {
+		return nil
+	}
+	return fmt.Errorf("chaos[%s seed=%d]: %s", r.Scenario, r.Seed, strings.Join(errs, "; "))
+}
+
+// checkLiveness: the job finishes every iteration within the deadline —
+// no schedule may deadlock the protocol (a flush barrier waiting on a dead
+// host, a sender blocked forever, a lost respawn).
+func checkLiveness(r *Result) error {
+	if r.Err != nil {
+		return fmt.Errorf("job error: %v", r.Err)
+	}
+	if !r.Done {
+		return fmt.Errorf("job did not finish")
+	}
+	return nil
+}
+
+// checkEpochMonotonic: the epoch stamps of replies the master applied never
+// decrease — once a failure bumps the epoch, nothing computed before it is
+// ever accepted into training state (the rollback fence holds at every
+// interleaving of stale replies with recovery).
+func checkEpochMonotonic(r *Result) error {
+	stamps := r.Mgr.AppliedStamps()
+	for i := 1; i < len(stamps); i++ {
+		if stamps[i].Epoch < stamps[i-1].Epoch {
+			return fmt.Errorf("applied stamp %d (epoch %d, iter %d at %v) after epoch %d",
+				i, stamps[i].Epoch, stamps[i].Iter, stamps[i].At, stamps[i-1].Epoch)
+		}
+	}
+	return nil
+}
+
+// checkSingleIncarnation: at quiescence, every stable tid has at most one
+// incarnation alive. A split-brain survivor computing alongside its
+// respawned replacement, or a double respawn, shows up here.
+func checkSingleIncarnation(r *Result) error {
+	for _, orig := range r.Sys.VPIDs() {
+		live := 0
+		for _, inc := range r.Sys.Incarnations(orig) {
+			if !inc.Exited() {
+				live++
+			}
+		}
+		if live > 1 {
+			return fmt.Errorf("%v has %d live incarnations", orig, live)
+		}
+	}
+	if orphans := r.Sys.Orphans(); len(orphans) > 0 {
+		names := make([]string, len(orphans))
+		for i, mt := range orphans {
+			names[i] = fmt.Sprintf("%v@host%d", mt.OrigTID(), mt.Host().ID())
+		}
+		return fmt.Errorf("unreaped live orphans: %s", strings.Join(names, ","))
+	}
+	return nil
+}
+
+// checkVPConservation: recovery neither loses nor duplicates VPs. The set
+// of stable tids is exactly {master} ∪ slaves, each resolves to a current
+// incarnation, and — the job having finished — none is still running.
+func checkVPConservation(r *Result) error {
+	if r.Job == nil {
+		return fmt.Errorf("no job")
+	}
+	want := map[string]bool{r.Job.MasterOrig().String(): true}
+	for _, s := range r.Job.SlaveOrigs() {
+		if want[s.String()] {
+			return fmt.Errorf("duplicate slave tid %v", s)
+		}
+		want[s.String()] = true
+	}
+	got := r.Sys.VPIDs()
+	if len(got) != len(want) {
+		return fmt.Errorf("%d stable tids registered, want %d", len(got), len(want))
+	}
+	for _, orig := range got {
+		if !want[orig.String()] {
+			return fmt.Errorf("unexpected VP %v appeared", orig)
+		}
+		cur := r.Sys.Task(orig)
+		if cur == nil {
+			return fmt.Errorf("VP %v lost (no current incarnation)", orig)
+		}
+		if r.Done && !cur.Exited() {
+			return fmt.Errorf("VP %v still running after job completion", orig)
+		}
+	}
+	return nil
+}
+
+// checkCommitMonotonic: the checkpoint store's commit sequence never goes
+// backwards. The master's image — the round's commit point — must commit at
+// strictly increasing iterations (a rollback re-commits only *forward* of
+// the recovery point); slave shard images at non-decreasing ones.
+func checkCommitMonotonic(r *Result) error {
+	lastByKey := map[string]int{}
+	for i, c := range r.Mgr.Store().Commits() {
+		last, seen := lastByKey[c.Key]
+		if seen {
+			if strings.HasPrefix(c.Key, "ft:master") && c.Epoch <= last {
+				return fmt.Errorf("commit %d: master image at iter %d after iter %d", i, c.Epoch, last)
+			}
+			if c.Epoch < last {
+				return fmt.Errorf("commit %d: %s image at iter %d after iter %d", i, c.Key, c.Epoch, last)
+			}
+		}
+		lastByKey[c.Key] = c.Epoch
+	}
+	return nil
+}
+
+// CheckDeterminism re-runs the scenario under the same seed and compares
+// schedule fingerprints: identical seeds must yield bit-identical outcomes
+// (final loss, finish time, migration/recovery/commit history). Returns the
+// second result for further use.
+func CheckDeterminism(sc Scenario, cfg Config, first *Result) (*Result, error) {
+	second := Run(sc, cfg)
+	a, b := first.Fingerprint(), second.Fingerprint()
+	if a != b {
+		return second, fmt.Errorf("chaos[%s seed=%d]: nondeterministic: %+v vs %+v",
+			sc.Name, cfg.Seed, a, b)
+	}
+	return second, nil
+}

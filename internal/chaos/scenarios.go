@@ -1,0 +1,112 @@
+package chaos
+
+import (
+	"time"
+
+	"pvmigrate/internal/ft"
+	"pvmigrate/internal/netsim"
+	"pvmigrate/internal/sim"
+)
+
+// The three scenarios from the hardening roadmap. Each draws its fault
+// instants from the seed's timing stream, so a seed sweep slides them across
+// the protocol windows they race with: heartbeat detection (~2 s), the
+// stage-2 flush barrier (ms), skeleton start (780 ms), state transfer
+// (100s of ms), and the respawn/rollback sequence that follows a loss.
+
+// within returns a seeded instant in [from, to).
+func within(rng *sim.RNG, from, to sim.Time) sim.Time {
+	return from + sim.Time(rng.Float64()*float64(to-from))
+}
+
+// pickHost returns a seeded host in [1, hosts) excluding the given one
+// (pass -1 to exclude none). Host 0 (GS + store + master) is never picked.
+func pickHost(rng *sim.RNG, hosts, exclude int) int {
+	for {
+		h := 1 + int(rng.Uint64()%uint64(hosts-1))
+		if h != exclude {
+			return h
+		}
+	}
+}
+
+// ReclaimDuringRollback crashes a slave host, then has an owner reclaim a
+// *different* host while the resulting recovery is still in flight: the
+// reclaim evacuation's migrations interleave with respawns, the master's
+// rollback reload, and the post-recovery re-checkpoint. The reclaim offset
+// sweeps from before detection to well after the respawns land.
+var ReclaimDuringRollback = Scenario{
+	Name: "reclaim-during-rollback",
+	Build: func(cfg Config, rng *sim.RNG) ([]ft.Fault, []OwnerChange) {
+		crashAt := within(rng, 4*time.Second, 10*time.Second)
+		crashed := pickHost(rng, cfg.Hosts, -1)
+		// The reclaim sweeps across the crash's whole recovery arc:
+		// sometimes it lands before the crash, sometimes mid-detection,
+		// sometimes mid-respawn, sometimes after recovery settled.
+		reclaimAt := crashAt + within(rng, -2*time.Second, 8*time.Second)
+		reclaimed := pickHost(rng, cfg.Hosts, crashed)
+		faults := []ft.Fault{{At: crashAt, Kind: ft.HostCrash, Host: crashed}}
+		owners := []OwnerChange{
+			{At: reclaimAt, Host: reclaimed, Active: true},
+			{At: reclaimAt + 20*time.Second, Host: reclaimed, Active: false},
+		}
+		return faults, owners
+	},
+}
+
+// CrashDuringEvacuation reclaims a host (starting evacuation migrations)
+// and crashes another host a sweep-chosen beat later — sometimes before the
+// flush completes, sometimes mid-skeleton-start, sometimes mid-transfer,
+// sometimes just after restart. When the crashed host is a migration
+// destination this drives the abort-to-source paths; when it is a bystander
+// it interleaves an independent recovery with the evacuation.
+var CrashDuringEvacuation = Scenario{
+	Name: "crash-during-evacuation",
+	Build: func(cfg Config, rng *sim.RNG) ([]ft.Fault, []OwnerChange) {
+		reclaimAt := within(rng, 4*time.Second, 8*time.Second)
+		reclaimed := pickHost(rng, cfg.Hosts, -1)
+		crashed := pickHost(rng, cfg.Hosts, reclaimed)
+		// Sweep the crash across the whole migration protocol: flush is
+		// milliseconds, the skeleton starts at 780 ms, transfer runs for
+		// hundreds of ms more.
+		crashAt := reclaimAt + within(rng, 0, 2*time.Second)
+		faults := []ft.Fault{{At: crashAt, Kind: ft.HostCrash, Host: crashed}}
+		owners := []OwnerChange{{At: reclaimAt, Host: reclaimed, Active: true}}
+		return faults, owners
+	},
+}
+
+// SplitBrainRejoin partitions a slave host away from the cluster: its beats
+// stop, the GS declares it dead, and its still-running VPs are fenced as
+// orphans and respawned elsewhere. The partition heals a sweep-chosen
+// interval later — before, around, or long after the respawns complete —
+// and the rejoining host's orphans must be reaped with no spurious respawn.
+var SplitBrainRejoin = Scenario{
+	Name: "split-brain-rejoin",
+	Build: func(cfg Config, rng *sim.RNG) ([]ft.Fault, []OwnerChange) {
+		partAt := within(rng, 4*time.Second, 10*time.Second)
+		host := pickHost(rng, cfg.Hosts, -1)
+		groups := map[netsim.HostID]int{netsim.HostID(host): 1}
+		// Heal sweeps from just past detection (orphans possibly still
+		// mid-anything) to long after recovery has fully settled.
+		healAt := partAt + within(rng, 3*time.Second, 20*time.Second)
+		faults := []ft.Fault{
+			{At: partAt, Kind: ft.LinkPartition, Groups: groups},
+			{At: healAt, Kind: ft.LinkHeal},
+		}
+		return faults, nil
+	},
+}
+
+// Scenarios is the sweep set, in the order the roadmap names them.
+var Scenarios = []Scenario{ReclaimDuringRollback, CrashDuringEvacuation, SplitBrainRejoin}
+
+// ScenarioByName returns the named scenario, or false.
+func ScenarioByName(name string) (Scenario, bool) {
+	for _, sc := range Scenarios {
+		if sc.Name == name {
+			return sc, true
+		}
+	}
+	return Scenario{}, false
+}

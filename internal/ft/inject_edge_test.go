@@ -1,0 +1,95 @@
+package ft
+
+import (
+	"testing"
+	"time"
+)
+
+// Ordering edge cases in fault application: the injector must be a no-op
+// when a fault arrives against a host already in the target state, whatever
+// order the kernel delivers same-plan faults in.
+
+func TestReviveBeforeCrashIsNoOp(t *testing.T) {
+	k, cl, m, _ := buildRig(t, 2)
+	inj := NewInjector(m, nil)
+	// The revive fires first against a host that never went down; the crash
+	// lands later and must still apply normally.
+	inj.Install(Plan{Faults: []Fault{
+		{At: 1 * time.Second, Kind: HostRevive, Host: 1},
+		{At: 2 * time.Second, Kind: HostCrash, Host: 1},
+	}})
+	k.RunUntil(5 * time.Second)
+	if cl.Host(1).Alive() {
+		t.Fatal("crash after spurious revive did not apply")
+	}
+	if len(inj.Crashes()) != 1 || inj.Crashes()[0].At != 2*time.Second {
+		t.Fatalf("crashes = %+v", inj.Crashes())
+	}
+}
+
+func TestDoubleCrashSameHostCountsOnce(t *testing.T) {
+	k, cl, m, _ := buildRig(t, 2)
+	inj := NewInjector(m, nil)
+	var seen []Fault
+	inj.OnFault(func(f Fault) { seen = append(seen, f) })
+	inj.Install(Plan{Faults: []Fault{
+		{At: 1 * time.Second, Kind: HostCrash, Host: 1},
+		{At: 1 * time.Second, Kind: HostCrash, Host: 1},
+		{At: 2 * time.Second, Kind: HostCrash, Host: 1},
+	}})
+	k.RunUntil(5 * time.Second)
+	if cl.Host(1).Alive() {
+		t.Fatal("host survived its crash")
+	}
+	if len(inj.Crashes()) != 1 {
+		t.Fatalf("duplicate crash recorded: %+v", inj.Crashes())
+	}
+	// Only the applied fault reaches observers: a Manager wired here must
+	// not record a second (later, wrong) crash time for the same outage.
+	if len(seen) != 1 {
+		t.Fatalf("OnFault fired %d times, want 1", len(seen))
+	}
+}
+
+func TestCrashAtTimeZero(t *testing.T) {
+	k, cl, m, _ := buildRig(t, 2)
+	inj := NewInjector(m, nil)
+	inj.Install(Plan{Faults: []Fault{
+		{At: 0, Kind: HostCrash, Host: 1, Outage: 3 * time.Second},
+	}})
+	var alive0 bool
+	k.ScheduleAt(1*time.Second, func() { alive0 = cl.Host(1).Alive() })
+	k.RunUntil(10 * time.Second)
+	if alive0 {
+		t.Fatal("crash at t=0 did not take the host down")
+	}
+	if !cl.Host(1).Alive() {
+		t.Fatal("outage revive after a t=0 crash did not fire")
+	}
+	if m.Daemon(1) == nil || !cl.Host(1).Alive() {
+		t.Fatal("revived host has no fresh daemon")
+	}
+	if len(inj.Crashes()) != 1 || inj.Crashes()[0].At != 0 {
+		t.Fatalf("crashes = %+v", inj.Crashes())
+	}
+}
+
+// TestReviveAppliesAfterRealCrash closes the loop on ordering: crash, then
+// an explicit (plan-level, not outage) revive strictly later.
+func TestReviveAppliesAfterRealCrash(t *testing.T) {
+	k, cl, m, _ := buildRig(t, 2)
+	inj := NewInjector(m, nil)
+	inj.Install(Plan{Faults: []Fault{
+		{At: 1 * time.Second, Kind: HostCrash, Host: 1},
+		{At: 4 * time.Second, Kind: HostRevive, Host: 1},
+	}})
+	var downAt3 bool
+	k.ScheduleAt(3*time.Second, func() { downAt3 = !cl.Host(1).Alive() })
+	k.RunUntil(6 * time.Second)
+	if !downAt3 {
+		t.Fatal("host not down between crash and revive")
+	}
+	if !cl.Host(1).Alive() {
+		t.Fatal("explicit revive did not apply")
+	}
+}

@@ -132,6 +132,9 @@ func (j *Job) Out() *JobResult { return &j.out }
 // MasterOrig returns the master's stable tid.
 func (j *Job) MasterOrig() core.TID { return j.masterOrig }
 
+// SlaveOrigs returns the slaves' stable tids in shard order.
+func (j *Job) SlaveOrigs() []core.TID { return append([]core.TID(nil), j.slaveOrigs...) }
+
 func (j *Job) slaveStateBytes(i int) int {
 	return j.counts[i]*opt.ExemplarBytes(j.p.InputDim) + j.cost.NetBytes()
 }
@@ -462,6 +465,7 @@ func (m *masterRun) oneIteration() error {
 			if err != nil {
 				return err
 			}
+			j.mgr.noteApplied(e, it)
 			lossSum += pl
 			if p.Real {
 				total.Add(g)
@@ -500,6 +504,11 @@ func unpackGrad(r *core.Reader, p opt.Params) (partialLoss float64, count int, g
 	pl, err := r.UpkFloat64s()
 	if err != nil {
 		return 0, 0, nil, err
+	}
+	if len(pl) == 0 {
+		// A well-formed reply always carries exactly one partial loss; an
+		// empty slice is a malformed payload, not a crash.
+		return 0, 0, nil, errors.New("ft: gradient reply carries no partial loss")
 	}
 	if count, err = r.UpkInt(); err != nil {
 		return 0, 0, nil, err

@@ -65,6 +65,18 @@ type Manager struct {
 
 	records []RecoveryRecord
 	crashAt map[int]sim.Time
+
+	// applied logs every protocol reply the master accepted into training
+	// state, in application order — the observable trail the chaos epoch-
+	// monotonicity checker audits.
+	applied []AppliedStamp
+}
+
+// AppliedStamp is one accepted reply's fence stamp.
+type AppliedStamp struct {
+	Epoch int
+	Iter  int
+	At    sim.Time
 }
 
 // NewManager creates a recovery manager over the MPVM system; log may be
@@ -92,6 +104,16 @@ func (mgr *Manager) Store() *checkpoint.Store { return mgr.store }
 
 // Records returns the recovery measurements so far.
 func (mgr *Manager) Records() []RecoveryRecord { return mgr.records }
+
+// AppliedStamps returns the fence stamps of every reply the master applied,
+// in application order.
+func (mgr *Manager) AppliedStamps() []AppliedStamp { return mgr.applied }
+
+// noteApplied records that the master accepted a reply stamped (epoch, iter)
+// into training state. Replies the fences rejected never reach here.
+func (mgr *Manager) noteApplied(epoch, iter int) {
+	mgr.applied = append(mgr.applied, AppliedStamp{Epoch: epoch, Iter: iter, At: mgr.kernel().Now()})
+}
 
 // Checkpoints returns how many coordinated checkpoint rounds fully closed.
 func (mgr *Manager) Checkpoints() int { return mgr.checkpoints }
@@ -136,23 +158,45 @@ func (mgr *Manager) HostLoad(host int) int { return mgr.tgt.HostLoad(host) }
 // every job VP that died with the host from the checkpoint store. Runs in
 // kernel context.
 func (mgr *Manager) HostDead(host int) (int, error) {
+	// The silent host's mpvmd will never acknowledge anything again (crashed
+	// or partitioned makes no difference to a waiting barrier): discount it
+	// from every in-flight flush so checkpoints and migrations can't hang on
+	// it.
+	mgr.sys.NoteHostUnreachable(host)
 	j := mgr.job
 	if j == nil {
 		return 0, nil
 	}
 	now := mgr.kernel().Now()
-	if mt := mgr.sys.Task(j.masterOrig); mt != nil && int(mt.Host().ID()) == host {
+	mmt := mgr.sys.Task(j.masterOrig)
+	if mmt != nil && int(mmt.Host().ID()) == host && !j.out.Done {
 		return 0, fmt.Errorf("ft: master host %d lost; job unrecoverable", host)
 	}
-	// Which job VPs died with the host? A killed task stays registered at
-	// its last host with Exited set; a task merely *migrated away* earlier
+	// Once the master's body has returned there is no in-flight computation
+	// to recover: a slave found on the dead host exited with the job (or is
+	// about to, on a queued done message), and a respawn now would reload a
+	// shard and wait forever on a master that will never speak again.
+	if j.out.Done || (mmt != nil && mmt.Exited()) {
+		return 0, nil
+	}
+	// Which job VPs were lost with the host? A crashed host's tasks stay
+	// registered at it with Exited set. A *partitioned* host's tasks are
+	// still running — silently, unreachably — so a live task found on the
+	// dead host is fenced off as an orphan (reaped if the host rejoins) and
+	// replaced just like a dead one. A task merely *migrated away* earlier
 	// is alive elsewhere and does not match.
 	var lost []int
 	for i, orig := range j.slaveOrigs {
 		mt := mgr.sys.Task(orig)
-		if mt != nil && mt.Exited() && int(mt.Host().ID()) == host {
-			lost = append(lost, i)
+		if mt == nil || int(mt.Host().ID()) != host {
+			continue
 		}
+		if !mt.Exited() {
+			mgr.sys.OrphanTask(orig)
+			mgr.trace("GS", "ft:orphan",
+				fmt.Sprintf("slave%d still running on silent host%d; fenced for respawn", i, host))
+		}
+		lost = append(lost, i)
 	}
 	if len(lost) == 0 {
 		return 0, nil
@@ -201,9 +245,18 @@ func (mgr *Manager) HostDead(host int) (int, error) {
 }
 
 // HostRejoined implements gs.RejoinTarget: a declared-dead host's beats
-// resumed (revival or healed partition). The host automatically becomes a
-// placement candidate again; nothing moves back proactively.
+// resumed (revival or healed partition). Orphan incarnations fenced while
+// the host was silent are reaped first — a split-brain survivor must not
+// compute alongside its respawned replacement — then the host automatically
+// becomes a placement candidate again; nothing moves back proactively and
+// nothing is respawned.
 func (mgr *Manager) HostRejoined(host int) {
+	mgr.sys.NoteHostReachable(host)
+	if n := mgr.sys.ReapOrphans(host); n > 0 {
+		mgr.trace("GS", "ft:host-rejoin",
+			fmt.Sprintf("host%d beating again; %d orphan VPs reaped", host, n))
+		return
+	}
 	mgr.trace("GS", "ft:host-rejoin", fmt.Sprintf("host%d beating again", host))
 }
 
@@ -274,12 +327,24 @@ func (mgr *Manager) noteResumed(resumeIter, rolledFrom int) {
 // saveSnapshot ships an image from the calling VP's host to the store host
 // (frame-paced over the shared wire; a loopback copy when co-located) and
 // writes it to stable storage. Both costs are charged to the calling proc;
-// an interrupt at any point installs nothing.
+// a rollback or kill at any point installs nothing. A *migrate* signal does
+// not abort the write: the disk sleeps run through sleepMigratable, so a
+// slave can be evacuated mid-checkpoint and its image still lands — the
+// two-phase Stage/Commit keeps the torn-write guarantee either way.
 func (mgr *Manager) saveSnapshot(mt *mpvm.MTask, key string, epoch, bytes int, payload any) error {
 	if err := mgr.shipBytes(mt, bytes); err != nil {
 		return err
 	}
-	return mgr.store.Write(mt.Proc(), key, epoch, bytes, payload)
+	if err := sleepMigratable(mt, mgr.store.IOTime(bytes)); err != nil {
+		return err
+	}
+	mgr.store.Stage(key, epoch, bytes, payload)
+	if err := sleepMigratable(mt, mgr.store.CommitTime()); err != nil {
+		mgr.store.DiscardStaged(key)
+		return err
+	}
+	mgr.store.Commit(key)
+	return nil
 }
 
 // fetchSnapshot reads the latest image for key (disk time) and ships it to
@@ -296,26 +361,52 @@ func (mgr *Manager) fetchSnapshot(mt *mpvm.MTask, key string) (checkpoint.Snapsh
 }
 
 // shipBytes charges the transfer of n bytes between the VP's host and the
-// store host to the calling proc.
+// store host to the calling proc, staying migration-transparent: a migrate
+// signal mid-ship runs the migration and the transfer continues from the
+// (possibly new) host, retransmitting the interrupted fragment.
 func (mgr *Manager) shipBytes(mt *mpvm.MTask, n int) error {
-	net := mt.Host().Iface().Network()
 	p := mt.Proc()
-	if int(mt.Host().ID()) == mgr.cfg.StoreHost {
-		return p.Sleep(sim.FromSeconds(float64(n) / net.Params().LoopbackBps))
-	}
-	mss := net.Params().MSS
-	link := net.Link()
 	for remaining := n; remaining > 0; {
-		frag := remaining
-		if frag > mss {
-			frag = mss
+		net := mt.Host().Iface().Network()
+		if int(mt.Host().ID()) == mgr.cfg.StoreHost {
+			// Co-located with the store (possibly only after migrating):
+			// the rest is a loopback copy.
+			return sleepMigratable(mt, sim.FromSeconds(float64(remaining)/net.Params().LoopbackBps))
 		}
-		if err := link.Transmit(p, frag); err != nil {
-			return err
+		frag := remaining
+		if frag > net.Params().MSS {
+			frag = net.Params().MSS
+		}
+		if err := net.Link().Transmit(p, frag); err != nil {
+			if err := mt.HandleSignal(err); err != nil {
+				return err
+			}
+			continue // migrated mid-fragment: retransmit it from the new host
 		}
 		remaining -= frag
 	}
-	return p.Sleep(net.Params().Latency)
+	if int(mt.Host().ID()) == mgr.cfg.StoreHost {
+		return nil
+	}
+	return sleepMigratable(mt, mt.Host().Iface().Network().Params().Latency)
+}
+
+// sleepMigratable charges d of blocking time to the task while staying
+// migration-transparent: a migrate signal arriving mid-sleep runs the
+// migration in the task's own context (via the library's signal hook) and
+// the sleep resumes for the remainder. Any other interrupt — rollback,
+// kill — surfaces to the caller.
+func sleepMigratable(mt *mpvm.MTask, d sim.Time) error {
+	p := mt.Proc()
+	end := p.Now() + d
+	for p.Now() < end {
+		if err := p.SleepUntil(end); err != nil {
+			if err := mt.HandleSignal(err); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
 }
 
 func (mgr *Manager) kernel() *sim.Kernel { return mgr.sys.Machine().Kernel() }

@@ -66,6 +66,16 @@ func (s *Scheduler) scheduleWatch() {
 	})
 }
 
+// suspect reports whether a silence of the given length marks a host lost.
+// The boundary is exclusive: a host silent for *exactly* SuspectAfter is
+// still alive. Both the declare-dead and the rejoin branch of watchOnce go
+// through this one predicate, so the two directions can never disagree
+// about the tie (a host at the boundary neither dies nor, if already dead,
+// stays dead).
+func (s *Scheduler) suspect(silent sim.Time) bool {
+	return silent > s.policy.SuspectAfter
+}
+
 // watchOnce scans heartbeat ages and flips suspicion state.
 func (s *Scheduler) watchOnce() {
 	now := s.cl.Kernel().Now()
@@ -76,7 +86,7 @@ func (s *Scheduler) watchOnce() {
 			continue
 		}
 		silent := now - last
-		if !s.dead[id] && silent > s.policy.SuspectAfter {
+		if !s.dead[id] && s.suspect(silent) {
 			s.dead[id] = true
 			var moved int
 			var err error
@@ -87,7 +97,7 @@ func (s *Scheduler) watchOnce() {
 				At: now, Host: id, Dest: -1,
 				Reason: core.ReasonHostFailure, Moved: moved, Err: err,
 			})
-		} else if s.dead[id] && silent <= s.policy.SuspectAfter {
+		} else if s.dead[id] && !s.suspect(silent) {
 			delete(s.dead, id)
 			if rt, ok := s.target.(RejoinTarget); ok {
 				rt.HostRejoined(id)

@@ -1,0 +1,60 @@
+package gs
+
+import (
+	"testing"
+	"time"
+
+	"pvmigrate/internal/core"
+	"pvmigrate/internal/sim"
+)
+
+// fakeBeats is a canned HeartbeatSource for boundary tests.
+type fakeBeats struct{ last map[int]sim.Time }
+
+func (f fakeBeats) LastHeard(host int) (sim.Time, bool) {
+	t, ok := f.last[host]
+	return t, ok
+}
+
+// TestSuspectBoundary pins the tie-break at silent == SuspectAfter: the
+// boundary counts as alive in both directions. A host exactly at the
+// threshold is not declared dead, and a dead host whose silence shrinks
+// back to exactly the threshold rejoins.
+func TestSuspectBoundary(t *testing.T) {
+	k, cl, sys := setup(t, 2)
+	pol := DefaultPolicy()
+	pol.SuspectAfter = 10 * time.Second
+	sched := New(cl, NewMPVMTarget(sys), pol)
+	hb := fakeBeats{last: map[int]sim.Time{0: 0, 1: 0}}
+	sched.SetHeartbeatSource(hb)
+
+	// Exactly SuspectAfter of silence: still alive.
+	k.RunUntil(10 * time.Second)
+	sched.watchOnce()
+	if len(sched.DeadHosts()) != 0 {
+		t.Fatalf("host declared dead at exactly SuspectAfter: %v", sched.DeadHosts())
+	}
+
+	// One tick past the boundary: dead.
+	k.RunUntil(10*time.Second + time.Nanosecond)
+	sched.watchOnce()
+	if got := sched.DeadHosts(); len(got) != 2 {
+		t.Fatalf("hosts past SuspectAfter not declared dead: %v", got)
+	}
+
+	// A beat arrives that puts host 0 back at exactly the boundary: rejoin.
+	hb.last[0] = k.Now() - 10*time.Second
+	sched.watchOnce()
+	if got := sched.DeadHosts(); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("host at exactly SuspectAfter did not rejoin: %v", got)
+	}
+	var rejoins int
+	for _, d := range sched.Decisions() {
+		if d.Reason == core.ReasonHostRejoin {
+			rejoins++
+		}
+	}
+	if rejoins != 1 {
+		t.Fatalf("rejoin decisions = %d, want 1", rejoins)
+	}
+}

@@ -24,8 +24,10 @@ package mpvm
 
 import (
 	"errors"
+	"fmt"
 	"time"
 
+	"pvmigrate/internal/cluster"
 	"pvmigrate/internal/core"
 	"pvmigrate/internal/pvm"
 	"pvmigrate/internal/sim"
@@ -57,6 +59,11 @@ type Config struct {
 	RestartOverhead sim.Time
 	// CtlBytes is the size of protocol control messages.
 	CtlBytes int
+	// SkeletonTimeout bounds how long a migrating process waits for the
+	// destination mpvmd to report a listening skeleton before abandoning
+	// the migration and resuming on the source host (the destination may
+	// have crashed after stage 1).
+	SkeletonTimeout sim.Time
 }
 
 // DefaultConfig returns the fitted cost model.
@@ -67,6 +74,7 @@ func DefaultConfig() Config {
 		TransferCopyBps: 12e6,
 		RestartOverhead: 180 * time.Millisecond,
 		CtlBytes:        64,
+		SkeletonTimeout: 5 * time.Second,
 	}
 }
 
@@ -87,6 +95,9 @@ func (c Config) withDefaults() Config {
 	if c.CtlBytes == 0 {
 		c.CtlBytes = d.CtlBytes
 	}
+	if c.SkeletonTimeout == 0 {
+		c.SkeletonTimeout = d.SkeletonTimeout
+	}
 	return c
 }
 
@@ -99,6 +110,15 @@ type System struct {
 
 	// tasks by original (stable) tid.
 	tasks map[core.TID]*MTask
+	// incarnations holds every incarnation a stable tid has ever had, in
+	// creation order: the initial spawn plus one entry per Respawn. The
+	// chaos invariant checkers read it to assert that at most one
+	// incarnation per tid is ever left alive once the system quiesces.
+	incarnations map[core.TID][]*MTask
+	// orphans are fenced incarnations that may still be running somewhere
+	// unreachable (a partitioned host whose silence got it declared dead).
+	// They are reaped when their host rejoins.
+	orphans []*MTask
 	// globalRemap: original tid → current tid, the authoritative view used
 	// for daemon-level forwarding of stale messages.
 	globalRemap map[core.TID]core.TID
@@ -111,6 +131,13 @@ type System struct {
 
 	// in-flight migrations by original tid.
 	migrations map[core.TID]*migration
+
+	// unreachable marks hosts whose daemons cannot acknowledge anything —
+	// crashed, or partitioned away and declared dead by silence. Flush
+	// barriers created while a host is here exclude it from the ack count
+	// (its cluster.Host may still say Alive: a partition severs the link,
+	// not the machine). Cleared when the host recovers or rejoins.
+	unreachable map[int]bool
 
 	rpcSeq  int
 	rpcWait map[int]*rpcPending
@@ -128,22 +155,47 @@ type rpcPending struct {
 type migration struct {
 	order     core.MigrationOrder
 	orig      core.TID
+	srcHost   int
 	start     sim.Time
 	acksWant  int
 	acksHave  int
 	offSource sim.Time
 	onFlushed func()
+	// flushed marks the stage-2 barrier complete; late acks (a healed
+	// partition) and host-loss discounts must not re-trigger it.
+	flushed bool
+	// acked records which hosts have acknowledged the flush, so duplicate
+	// acks cannot inflate the barrier count.
+	acked map[int]bool
+	// discounted marks hosts whose ack was written off because they died
+	// (or were declared dead) mid-flush, so a second loss report for the
+	// same host cannot shrink the barrier twice.
+	discounted map[int]bool
+}
+
+func newMigration(order core.MigrationOrder, orig core.TID, srcHost int, start sim.Time, acksWant int) *migration {
+	return &migration{
+		order:      order,
+		orig:       orig,
+		srcHost:    srcHost,
+		start:      start,
+		acksWant:   acksWant,
+		acked:      make(map[int]bool),
+		discounted: make(map[int]bool),
+	}
 }
 
 // New wraps a PVM machine with MPVM protocol support.
 func New(m *pvm.Machine, cfg Config) *System {
 	s := &System{
-		m:           m,
-		cfg:         cfg.withDefaults(),
-		tasks:       make(map[core.TID]*MTask),
-		globalRemap: make(map[core.TID]core.TID),
-		migrations:  make(map[core.TID]*migration),
-		rpcWait:     make(map[int]*rpcPending),
+		m:            m,
+		cfg:          cfg.withDefaults(),
+		tasks:        make(map[core.TID]*MTask),
+		incarnations: make(map[core.TID][]*MTask),
+		globalRemap:  make(map[core.TID]core.TID),
+		migrations:   make(map[core.TID]*migration),
+		unreachable:  make(map[int]bool),
+		rpcWait:      make(map[int]*rpcPending),
 	}
 	// Registered as a daemon-init hook (not set directly) so daemons created
 	// later by ReviveHost become mpvmds too.
@@ -151,6 +203,18 @@ func New(m *pvm.Machine, cfg Config) *System {
 		d.Control = s.handleCtl
 		d.ForwardUnknown = s.forwardStale
 	})
+	// A host dying mid-flush would otherwise leave every stage-2 barrier
+	// waiting on an ack that can never arrive — and every sender to the
+	// migrating task blocked forever behind it.
+	for _, h := range m.Cluster().Hosts() {
+		h.OnAvailChange(func(host *cluster.Host, alive bool) {
+			if alive {
+				s.NoteHostReachable(int(host.ID()))
+			} else {
+				s.NoteHostUnreachable(int(host.ID()))
+			}
+		})
+	}
 	return s
 }
 
@@ -163,11 +227,73 @@ func (s *System) Machine() *pvm.Machine { return s.m }
 func (s *System) aliveHosts() int {
 	n := 0
 	for _, h := range s.m.Cluster().Hosts() {
-		if h.Alive() {
+		if h.Alive() && !s.unreachable[int(h.ID())] {
 			n++
 		}
 	}
 	return n
+}
+
+// aliveDaemon returns any daemon on a live host, for broadcasts whose
+// natural coordinator is gone.
+func (s *System) aliveDaemon() *pvm.Daemon {
+	for _, h := range s.m.Cluster().Hosts() {
+		if !h.Alive() || s.unreachable[int(h.ID())] {
+			continue
+		}
+		if d := s.m.Daemon(int(h.ID())); d != nil {
+			return d
+		}
+	}
+	return nil
+}
+
+// NoteHostUnreachable updates every in-flight flush barrier for the loss of
+// a host: its pending ack is discounted (it will never arrive), and a
+// migration the host itself was coordinating is cancelled from a surviving
+// daemon so flush-blocked senders elsewhere resume. Wired to cluster
+// availability changes in New; the failure layer also calls it for hosts
+// declared dead by silence (a partition drops acks just as surely as a
+// crash).
+func (s *System) NoteHostUnreachable(host int) {
+	s.unreachable[host] = true
+	for orig, mig := range s.migrations {
+		if mig.srcHost == host {
+			if d := s.aliveDaemon(); d != nil {
+				s.trace(fmt.Sprintf("mpvmd%d", d.Host().ID()), "2:flush-abort",
+					fmt.Sprintf("coordinator host%d lost; cancelling flush of %v", host, orig))
+				s.cancelMigration(orig, d)
+			}
+			continue
+		}
+		if mig.flushed || mig.acked[host] || mig.discounted[host] {
+			continue
+		}
+		mig.discounted[host] = true
+		mig.acksWant--
+		s.maybeFinishFlush(mig)
+	}
+}
+
+// NoteHostReachable clears a host from the unreachable set: its daemon can
+// acknowledge broadcasts again, so new flush barriers include it. Wired to
+// cluster availability changes in New; the failure layer also calls it when
+// a silent host's beats resume (healed partition).
+func (s *System) NoteHostReachable(host int) {
+	delete(s.unreachable, host)
+}
+
+// Incarnations returns every incarnation a stable tid has had, in creation
+// order. The chaos invariant checkers use it to assert single-liveness.
+func (s *System) Incarnations(orig core.TID) []*MTask { return s.incarnations[orig] }
+
+// VPIDs returns the stable tids of all tasks ever spawned migratable.
+func (s *System) VPIDs() []core.TID {
+	ids := make([]core.TID, 0, len(s.incarnations))
+	for orig := range s.incarnations {
+		ids = append(ids, orig)
+	}
+	return ids
 }
 
 // Config returns the (defaulted) migration cost model.

@@ -35,6 +35,12 @@ type MTask struct {
 
 	migrating bool
 	memMB     int // physical memory reserved on the current host
+
+	// orphaned marks an incarnation fenced off by failure handling: its host
+	// went silent and a replacement may be (or has been) respawned. An
+	// orphan may still be running on a partitioned host; it is reaped when
+	// that host rejoins.
+	orphaned bool
 }
 
 // SpawnMigratable starts a migratable task on host. The body receives the
@@ -61,6 +67,7 @@ func (s *System) SpawnMigratable(host int, name string, stateBytes int, body fun
 	_ = task.Host().AllocMem(mt.memMB)
 	s.tasks[mt.orig] = mt
 	s.globalRemap[mt.orig] = mt.orig
+	s.incarnations[mt.orig] = append(s.incarnations[mt.orig], mt)
 	s.linkHooks(mt, task)
 	return mt, nil
 }
@@ -115,6 +122,10 @@ func memMB(stateBytes int) int {
 
 // Migrating reports whether the task is currently mid-migration.
 func (mt *MTask) Migrating() bool { return mt.migrating }
+
+// Orphaned reports whether this incarnation has been fenced off by failure
+// handling (its host was declared dead while it may still run).
+func (mt *MTask) Orphaned() bool { return mt.orphaned }
 
 // resolveTID maps an application-visible (original) tid to the peer's
 // current tid — the per-send remapping cost the paper describes.

@@ -24,6 +24,7 @@ type (
 	// flushAck: every mpvmd → source mpvmd (stage 2).
 	flushAck struct {
 		orig core.TID
+		host int
 	}
 	// skeletonReq: migrating process → destination mpvmd (stage 3).
 	skeletonReq struct {
@@ -121,12 +122,7 @@ func (s *System) onMigrateCmd(d *pvm.Daemon, cmd *migrateCmd) {
 		return
 	}
 	mt.migrating = true
-	mig := &migration{
-		order:    cmd.order,
-		orig:     cmd.orig,
-		start:    s.m.Kernel().Now(),
-		acksWant: s.aliveHosts(),
-	}
+	mig := newMigration(cmd.order, cmd.orig, int(d.Host().ID()), s.m.Kernel().Now(), s.aliveHosts())
 	s.migrations[cmd.orig] = mig
 	s.trace(fmt.Sprintf("mpvmd%d", d.Host().ID()), "2:flush", "flush message to all processes")
 	for h := 0; h < s.m.NHosts(); h++ {
@@ -146,22 +142,41 @@ func (s *System) onFlushCmd(d *pvm.Daemon, cmd *flushCmd) {
 		}
 	}
 	d.SendCtl(cmd.srcHost, s.cfg.CtlBytes,
-		&pvm.CtlMsg{Kind: "mpvm", Payload: &flushAck{orig: cmd.orig}})
+		&pvm.CtlMsg{Kind: "mpvm", Payload: &flushAck{orig: cmd.orig, host: int(d.Host().ID())}})
 }
 
-// onFlushAck (source mpvmd): when all hosts acknowledged, signal the victim.
+// onFlushAck (source mpvmd): count the ack once per host; when all live
+// hosts acknowledged, complete the barrier.
 func (s *System) onFlushAck(d *pvm.Daemon, ack *flushAck) {
 	mig, ok := s.migrations[ack.orig]
-	if !ok {
+	if !ok || mig.flushed {
 		return
 	}
+	if mig.acked[ack.host] || mig.discounted[ack.host] {
+		// Duplicate, or a late ack from a host already written off (a healed
+		// partition delivering stale control traffic).
+		return
+	}
+	mig.acked[ack.host] = true
 	mig.acksHave++
-	if mig.acksHave < mig.acksWant {
+	s.maybeFinishFlush(mig)
+}
+
+// maybeFinishFlush completes the stage-2 barrier once every still-expected
+// host has acknowledged. Reached from both ack arrival and host-loss
+// discounting (NoteHostUnreachable), and guarded so it fires exactly once.
+func (s *System) maybeFinishFlush(mig *migration) {
+	if mig.flushed || mig.acksHave < mig.acksWant {
 		return
 	}
-	mt := s.tasks[ack.orig]
+	mig.flushed = true
+	d := s.m.Daemon(mig.srcHost)
+	if d == nil {
+		return
+	}
+	mt := s.tasks[mig.orig]
 	if mt == nil || mt.Exited() {
-		s.cancelMigration(ack.orig, d)
+		s.cancelMigration(mig.orig, d)
 		return
 	}
 	if mig.onFlushed != nil {
@@ -227,12 +242,13 @@ func (s *System) onSkeletonReq(d *pvm.Daemon, req *skeletonReq) {
 // restart (old tid = new tid) is broadcast so any sender stalled on the
 // flush flag unblocks instead of waiting forever.
 func (s *System) cancelMigration(orig core.TID, d *pvm.Daemon) {
-	mig, ok := s.migrations[orig]
-	if !ok {
+	if _, ok := s.migrations[orig]; !ok {
 		return
 	}
 	delete(s.migrations, orig)
-	_ = mig
+	if mt := s.tasks[orig]; mt != nil {
+		mt.migrating = false
+	}
 	cur := s.CurrentTID(orig)
 	for h := 0; h < s.m.NHosts(); h++ {
 		d.SendCtl(h, s.cfg.CtlBytes, &pvm.CtlMsg{Kind: "mpvm",
@@ -253,6 +269,21 @@ func (s *System) onRestartCmd(d *pvm.Daemon, cmd *restartCmd) {
 	}
 }
 
+// skeletonTimeout is the rpc reply installed when the destination mpvmd
+// never answers a skeleton request (it crashed after stage 1).
+type skeletonTimeout struct{}
+
+// abortOnSource abandons a migration whose destination failed before the
+// process image committed to it: the task keeps running where it is, and
+// the cancel broadcast (a no-op restart) unblocks every flush-stalled
+// sender. Safe at any point up to AttachToHost because the source copy of
+// the process is only released after the skeleton confirms.
+func (s *System) abortOnSource(mt *MTask, d *pvm.Daemon, why string) {
+	s.trace(mt.orig.String(), "3:abort", why+"; resuming on source host")
+	mt.migrating = false
+	s.cancelMigration(mt.orig, d)
+}
+
 // executeMigration runs stages 3 and 4 in the migrating process's own
 // context (the transparently linked signal handler).
 func (s *System) executeMigration(mt *MTask, sig migrateSignal) {
@@ -265,27 +296,37 @@ func (s *System) executeMigration(mt *MTask, sig migrateSignal) {
 	oldTID := mt.Mytid()
 
 	// Stage 3a: request a skeleton on the destination host and wait for it
-	// to listen.
+	// to listen — but not forever: a destination that crashed after stage 1
+	// never replies, and without a deadline the victim would hold every
+	// sender flush-blocked for the rest of the run.
 	rpcID, pend := s.nextRPC()
 	srcD := mt.Daemon()
 	srcD.SendCtl(destHost, s.cfg.CtlBytes, &pvm.CtlMsg{Kind: "mpvm", Payload: &skeletonReq{
 		rpc: rpcID, orig: mt.orig, name: mt.Name(),
 		srcHost: int(mt.Host().ID()), bytes: mt.stateBytes,
 	}})
+	s.m.Kernel().Schedule(s.cfg.SkeletonTimeout, func() {
+		s.completeRPC(rpcID, skeletonTimeout{})
+	})
 	for pend.reply == nil {
 		if err := pend.cond.Wait(p); err != nil {
+			delete(s.rpcWait, rpcID)
+			s.abortOnSource(mt, srcD, "interrupted awaiting skeleton")
 			return
 		}
 	}
-	ready := pend.reply.(*skeletonReady)
+	ready, ok := pend.reply.(*skeletonReady)
+	if !ok {
+		s.abortOnSource(mt, srcD, fmt.Sprintf("no skeleton on host%d within %v", destHost, s.cfg.SkeletonTimeout))
+		return
+	}
 	s.trace("skeleton", "3:skeleton-ready", fmt.Sprintf("listening on host%d:%d", destHost, ready.port))
 
 	// Stage 3b: connect and stream the process image: data + heap + stack
 	// (stateBytes), buffered/unreceived messages, and the register context.
 	conn, err := srcIface.Dial(p, netsim.HostID(destHost), ready.port)
 	if err != nil {
-		mt.migrating = false
-		delete(s.migrations, mt.orig)
+		s.abortOnSource(mt, srcD, fmt.Sprintf("dial host%d failed: %v", destHost, err))
 		return
 	}
 	inbox := mt.TakeInbox()
@@ -296,7 +337,12 @@ func (s *System) executeMigration(mt *MTask, sig migrateSignal) {
 	const contextBytes = 4 << 10 // registers + signal state + library tables
 	total := mt.stateBytes + inboxBytes + contextBytes
 	s.trace(mt.orig.String(), "3:state-transfer", fmt.Sprintf("%d bytes over TCP", total))
-	conn.Send(p, 64, &stateHeader{orig: mt.orig, total: total})
+	if err := conn.Send(p, 64, &stateHeader{orig: mt.orig, total: total}); err != nil {
+		conn.Close()
+		mt.RestoreInbox(inbox)
+		s.abortOnSource(mt, srcD, fmt.Sprintf("transfer to host%d failed: %v", destHost, err))
+		return
+	}
 	remaining := total
 	for remaining > 0 {
 		chunk := remaining
@@ -307,27 +353,42 @@ func (s *System) executeMigration(mt *MTask, sig migrateSignal) {
 		// keeps MPVM above raw TCP in Table 2.
 		s.m.ChargeCPU(p, mt.Host(), sim.FromSeconds(float64(chunk)/s.cfg.TransferCopyBps))
 		if err := conn.Send(p, chunk, nil); err != nil {
-			break
+			conn.Close()
+			mt.RestoreInbox(inbox)
+			s.abortOnSource(mt, srcD, fmt.Sprintf("transfer to host%d failed: %v", destHost, err))
+			return
 		}
 		remaining -= chunk
 	}
 
-	// The process image is off the source machine: this is the end of the
-	// obtrusiveness window.
+	// Wait for the skeleton to confirm it assumed the state. Until this
+	// confirmation, the source copy is authoritative: a destination crash
+	// mid- or post-transfer loses only the copy, not the process.
+	if _, err := conn.Recv(p); err != nil {
+		conn.Close()
+		mt.RestoreInbox(inbox)
+		s.abortOnSource(mt, srcD, fmt.Sprintf("no state-assumed confirmation from host%d: %v", destHost, err))
+		return
+	}
+	conn.Close()
+	destD := s.m.Daemon(destHost)
+	if destD == nil || !destD.Host().Alive() {
+		// Confirmed, then died at the same virtual instant: the copy is gone.
+		mt.RestoreInbox(inbox)
+		s.abortOnSource(mt, srcD, fmt.Sprintf("host%d died after confirming", destHost))
+		return
+	}
+
+	// The process image is committed to the destination: this is the end of
+	// the obtrusiveness window on the source machine.
 	mt.DetachFromHost()
 	mig.offSource = p.Now()
 	s.trace(mt.orig.String(), "3:off-source", "process image off the source host")
-
-	// Wait for the skeleton to confirm it assumed the state.
-	if _, err := conn.Recv(p); err == nil {
-		conn.Close()
-	}
 
 	// Stage 4: the skeleton is now the process. Re-enroll with the new
 	// mpvmd (fresh tid), restore buffered messages, broadcast restart.
 	// Memory residency moves with the image.
 	srcD.Host().FreeMem(mt.memMB)
-	destD := s.m.Daemon(destHost)
 	mt.memMB = memMB(mt.stateBytes)
 	_ = destD.Host().AllocMem(mt.memMB)
 	newTID := mt.AttachToHost(destD)

@@ -36,12 +36,8 @@ func (s *System) FlushAndHold(orig core.TID, onFlushed func()) error {
 		return fmt.Errorf("%w: %v", ErrAlreadyMoving, orig)
 	}
 	d := mt.Daemon()
-	mig := &migration{
-		orig:      orig,
-		start:     s.m.Kernel().Now(),
-		acksWant:  s.aliveHosts(),
-		onFlushed: onFlushed,
-	}
+	mig := newMigration(core.MigrationOrder{}, orig, int(d.Host().ID()), s.m.Kernel().Now(), s.aliveHosts())
+	mig.onFlushed = onFlushed
 	s.migrations[orig] = mig
 	s.trace(fmt.Sprintf("mpvmd%d", d.Host().ID()), "2:flush", "checkpoint flush to all processes")
 	for h := 0; h < s.m.NHosts(); h++ {
@@ -72,7 +68,10 @@ func (s *System) Respawn(orig core.TID, host int, name string, stateBytes int, b
 	if !ok {
 		return nil, fmt.Errorf("%w: %v", ErrUnknownTask, orig)
 	}
-	if !old.Exited() {
+	// An orphaned incarnation may still be running somewhere unreachable;
+	// it has been fenced (OrphanTask) and will be reaped on rejoin, so a
+	// replacement may be created while it technically lives.
+	if !old.Exited() && !old.orphaned {
 		return nil, fmt.Errorf("%w: %v", ErrStillAlive, orig)
 	}
 	oldCur := s.CurrentTID(orig)
@@ -103,6 +102,7 @@ func (s *System) Respawn(orig core.TID, host int, name string, stateBytes int, b
 	newTID := task.Mytid()
 	nt.tidHistoryNext[oldCur] = newTID
 	s.tasks[orig] = nt
+	s.incarnations[orig] = append(s.incarnations[orig], nt)
 	s.globalRemap[orig] = newTID
 
 	// The fresh library starts from the machine's authoritative view of
@@ -125,4 +125,59 @@ func (s *System) Respawn(orig core.TID, host int, name string, stateBytes int, b
 			Payload: &restartCmd{orig: orig, oldTID: oldCur, newTID: newTID}})
 	}
 	return nt, nil
+}
+
+// OrphanTask fences off a task's current incarnation without requiring its
+// death. Used when the incarnation's host has been declared dead by silence:
+// a crashed host's tasks really are dead, but a *partitioned* host's tasks
+// keep running, invisible — and the recovery layer must be able to respawn a
+// replacement either way. The orphan's stale traffic is fenced by the
+// application-level epoch stamps; the orphan itself is reaped when (if) its
+// host rejoins. Reports whether a live incarnation was actually orphaned.
+func (s *System) OrphanTask(orig core.TID) bool {
+	mt, ok := s.tasks[orig]
+	if !ok || mt.orphaned {
+		return false
+	}
+	mt.orphaned = true
+	if mt.Exited() {
+		return false
+	}
+	s.orphans = append(s.orphans, mt)
+	s.trace(mt.orig.String(), "orphan", fmt.Sprintf("incarnation %v fenced on silent host%d", mt.Mytid(), mt.Host().ID()))
+	return true
+}
+
+// ReapOrphans force-kills every fenced incarnation found still running on
+// host — the first thing a rejoining host's mpvmd does, so a split-brain
+// survivor cannot compute alongside its replacement. Returns how many
+// orphans were reaped.
+func (s *System) ReapOrphans(host int) int {
+	keep := s.orphans[:0]
+	n := 0
+	for _, mt := range s.orphans {
+		if mt.Exited() {
+			continue // died on its own (e.g. the host really crashed)
+		}
+		if int(mt.Host().ID()) != host {
+			keep = append(keep, mt)
+			continue
+		}
+		s.trace(mt.orig.String(), "reap", fmt.Sprintf("orphan incarnation %v killed on rejoined host%d", mt.Mytid(), host))
+		mt.Task.ForceKill(pvm.Killed{Host: host})
+		n++
+	}
+	s.orphans = keep
+	return n
+}
+
+// Orphans returns the fenced incarnations not yet reaped or exited.
+func (s *System) Orphans() []*MTask {
+	live := make([]*MTask, 0, len(s.orphans))
+	for _, mt := range s.orphans {
+		if !mt.Exited() {
+			live = append(live, mt)
+		}
+	}
+	return live
 }

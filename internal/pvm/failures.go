@@ -20,6 +20,11 @@ type Killed struct{ Host int }
 
 func (k Killed) String() string { return fmt.Sprintf("killed: host %d crashed", k.Host) }
 
+// ForceKill terminates the task immediately without routing a control
+// message — the daemon-local SIGKILL. Besides host crashes, the migration
+// layer uses it to reap orphaned incarnations found on a rejoining host.
+func (t *Task) ForceKill(reason any) { t.forceKill(reason) }
+
 // forceKill terminates the task immediately: it is deregistered and its
 // proc is interrupted with the given reason so any blocking call unwinds.
 // Unlike Task.Kill (pvm_kill), no control message is routed — the host is

@@ -167,19 +167,29 @@ func (m *Machine) chargeCPU(p *sim.Proc, h *cluster.Host, d sim.Time) {
 		return
 	}
 	work := sim.Seconds(d) * h.CPU().Speed()
-	for {
-		rem, err := h.CPU().Compute(p, work)
-		if err == nil {
-			return
-		}
-		// Interrupted (only possible for callers charging unmasked work):
-		// re-pend the signal so it surfaces at the next unmasked blocking
-		// point, and finish the remaining accounting work.
-		if ie, ok := sim.IsInterrupted(err); ok {
-			p.Interrupt(ie.Reason)
-		}
-		work = rem
+	rem, err := h.CPU().Compute(p, work)
+	if err == nil {
+		return
 	}
+	ie, ok := sim.IsInterrupted(err)
+	if !ok {
+		return
+	}
+	// Interrupted (only possible for callers charging unmasked work, e.g. a
+	// daemon halted by a host crash mid-dispatch). Finish the remaining
+	// accounting work with interrupts masked — a pending interrupt surfaces
+	// at every unmasked blocking call, so an unmasked retry would spin at
+	// this instant forever — then re-pend the signal so it lands at the
+	// caller's next blocking point.
+	wasMasked := p.InterruptsMasked()
+	p.MaskInterrupts()
+	for rem > 0 {
+		rem, _ = h.CPU().Compute(p, rem)
+	}
+	if !wasMasked {
+		p.UnmaskInterrupts()
+	}
+	p.Interrupt(ie.Reason)
 }
 
 // packTime returns the CPU time to copy n bytes through the packing layer.

@@ -124,6 +124,15 @@ func (t *Task) SetBeforeSend(f func(dst core.TID) error) { t.beforeSend = f }
 // operation resumes transparently.
 func (t *Task) SetOnSignal(f func(reason any) error) { t.onSignal = f }
 
+// HandleSignal routes an interrupted-error through the installed signal
+// handler, exactly as the library's own blocking calls do: a migration
+// signal runs the protocol and returns nil (the caller retries its
+// operation, possibly on a new host); anything else — a kill, a rollback —
+// comes back as the error to unwind on. Layers that block outside the
+// library (the ft manager's checkpoint I/O) use this to stay
+// migration-transparent.
+func (t *Task) HandleSignal(err error) error { return t.handleSignal(err) }
+
 // handleSignal routes an interrupt to the handler, or surfaces it.
 func (t *Task) handleSignal(err error) error {
 	ie, ok := sim.IsInterrupted(err)

@@ -11,7 +11,8 @@ import (
 // (fn != nil). Callbacks run inline in the event loop and must not block.
 type event struct {
 	at       Time
-	seq      uint64 // tie-breaker: schedule order
+	prio     uint64 // tie-break priority (0 unless a tie-breaker is installed)
+	seq      uint64 // final tie-breaker: schedule order
 	fn       func()
 	p        *Proc
 	gen      uint64 // wake generation the event targets (stale wakes are skipped)
@@ -36,6 +37,9 @@ func (h eventHeap) Len() int { return len(h) }
 func (h eventHeap) Less(i, j int) bool {
 	if h[i].at != h[j].at {
 		return h[i].at < h[j].at
+	}
+	if h[i].prio != h[j].prio {
+		return h[i].prio < h[j].prio
 	}
 	return h[i].seq < h[j].seq
 }
@@ -70,6 +74,13 @@ type Kernel struct {
 	procs   []*Proc
 	nextPID int
 	stopped bool
+
+	// tiebreak, when non-nil, assigns each event a pseudo-random priority
+	// that precedes seq in the heap ordering. Equal-time events are then
+	// dispatched in a seed-determined permutation instead of schedule order:
+	// one seed is one reproducible schedule, and a sweep of seeds is a
+	// search over interleavings (the chaos explorer's kernel hook).
+	tiebreak *RNG
 }
 
 // NewKernel returns a kernel with the clock at time zero and no events.
@@ -79,6 +90,26 @@ func NewKernel() *Kernel {
 
 // Now returns the current virtual time.
 func (k *Kernel) Now() Time { return k.now }
+
+// SetTieBreakSeed installs a seeded tie-breaker: events scheduled for the
+// same virtual time run in a pseudo-random order that is a pure function of
+// the seed and the schedule history. Without a tie-breaker (the default),
+// equal-time events run in schedule order, bit-identical to prior behavior.
+// Install before scheduling anything; re-seeding mid-run starts a fresh
+// stream for events scheduled afterwards.
+func (k *Kernel) SetTieBreakSeed(seed uint64) { k.tiebreak = NewRNG(seed) }
+
+// ClearTieBreak restores strict schedule-order dispatch for events scheduled
+// after the call.
+func (k *Kernel) ClearTieBreak() { k.tiebreak = nil }
+
+// nextPrio draws the tie-break priority for a newly scheduled event.
+func (k *Kernel) nextPrio() uint64 {
+	if k.tiebreak == nil {
+		return 0
+	}
+	return k.tiebreak.Uint64()
+}
 
 // Stop makes Run return after the event currently being processed.
 func (k *Kernel) Stop() { k.stopped = true }
@@ -103,7 +134,7 @@ func (k *Kernel) ScheduleAt(at Time, fn func()) *Timer {
 
 func (k *Kernel) scheduleAt(at Time, fn func()) *Timer {
 	k.seq++
-	e := &event{at: at, seq: k.seq, fn: fn}
+	e := &event{at: at, prio: k.nextPrio(), seq: k.seq, fn: fn}
 	heap.Push(&k.events, e)
 	return &Timer{ev: e}
 }
@@ -115,7 +146,7 @@ func (k *Kernel) scheduleWake(p *Proc, at Time, gen uint64) *event {
 		at = k.now
 	}
 	k.seq++
-	e := &event{at: at, seq: k.seq, p: p, gen: gen}
+	e := &event{at: at, prio: k.nextPrio(), seq: k.seq, p: p, gen: gen}
 	heap.Push(&k.events, e)
 	return e
 }
