@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"math"
+	"sort"
 
 	"pvmigrate/internal/sim"
 )
@@ -19,6 +20,7 @@ type CPU struct {
 	k          *sim.Kernel
 	speed      float64 // work units per second
 	jobs       map[*cpuJob]struct{}
+	nextSeq    int // admission order, the deterministic completion tie-break
 	lastUpdate sim.Time
 	completion *sim.Timer
 
@@ -26,9 +28,17 @@ type CPU struct {
 }
 
 type cpuJob struct {
+	seq       int     // admission order on this CPU
 	remaining float64 // math.Inf(1) for pure load jobs
 	done      bool
 	doneCond  *sim.Cond // nil for load jobs
+}
+
+// admit registers a job under the next admission sequence number.
+func (c *CPU) admit(j *cpuJob) {
+	j.seq = c.nextSeq
+	c.nextSeq++
+	c.jobs[j] = struct{}{}
 }
 
 // LoadHandle identifies a background load job added with AddLoad.
@@ -110,14 +120,22 @@ func (c *CPU) reschedule() {
 func (c *CPU) onCompletion() {
 	c.advance()
 	const eps = 1e-9
+	// Several jobs can finish at the same instant; they must wake in
+	// admission order, not map order, or the kernel schedule diverges
+	// between runs of the same seed.
+	finished := make([]*cpuJob, 0, len(c.jobs))
 	for j := range c.jobs {
 		if !math.IsInf(j.remaining, 1) && j.remaining <= eps {
-			j.remaining = 0
-			j.done = true
-			delete(c.jobs, j)
-			if j.doneCond != nil {
-				j.doneCond.Broadcast()
-			}
+			finished = append(finished, j)
+		}
+	}
+	sort.Slice(finished, func(i, k int) bool { return finished[i].seq < finished[k].seq })
+	for _, j := range finished {
+		j.remaining = 0
+		j.done = true
+		delete(c.jobs, j)
+		if j.doneCond != nil {
+			j.doneCond.Broadcast()
 		}
 	}
 	c.completion = nil
@@ -135,7 +153,7 @@ func (c *CPU) Compute(p *sim.Proc, work float64) (remaining float64, err error) 
 	}
 	c.advance()
 	j := &cpuJob{remaining: work, doneCond: sim.NewCond(c.k)}
-	c.jobs[j] = struct{}{}
+	c.admit(j)
 	c.reschedule()
 	for !j.done {
 		if err := j.doneCond.Wait(p); err != nil {
@@ -154,7 +172,7 @@ func (c *CPU) Compute(p *sim.Proc, work float64) (remaining float64, err error) 
 func (c *CPU) AddLoad() *LoadHandle {
 	c.advance()
 	j := &cpuJob{remaining: math.Inf(1)}
-	c.jobs[j] = struct{}{}
+	c.admit(j)
 	c.reschedule()
 	return &LoadHandle{cpu: c, job: j}
 }

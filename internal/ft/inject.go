@@ -118,6 +118,7 @@ func (inj *Injector) apply(f Fault) {
 		// Machine level first (frames in flight start dropping), then the
 		// process level (daemon and tasks die).
 		h.Fail()
+		// lint:reason liveness is checked above; CrashHost errors only for unknown or already-dead hosts
 		_ = inj.m.CrashHost(f.Host)
 		inj.crashes = append(inj.crashes, CrashEvent{Host: f.Host, At: k.Now()})
 		inj.record("fault:host-crash", fmt.Sprintf("host%d down (outage %v)", f.Host, f.Outage))

@@ -1,0 +1,76 @@
+package lint_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"pvmigrate/internal/lint"
+	"pvmigrate/internal/lint/linttest"
+)
+
+// simDrivenPath is an import path the default config treats as sim-driven;
+// fixtures loaded under it must obey every determinism invariant.
+const simDrivenPath = "pvmigrate/internal/lintfixture"
+
+// kernelPath is the allowlisted kernel package: the same source loaded
+// here must produce no diagnostics.
+const kernelPath = "pvmigrate/internal/sim"
+
+func fixture(analyzer, variant string) string {
+	return filepath.Join("testdata", "src", analyzer, variant)
+}
+
+func TestNoWallClock(t *testing.T) {
+	cfg := lint.DefaultConfig()
+	linttest.Run(t, lint.NewNoWallClock(cfg), fixture("nowallclock", "flagged"), simDrivenPath)
+	linttest.Run(t, lint.NewNoWallClock(cfg), fixture("nowallclock", "allowed"), kernelPath)
+}
+
+func TestSeededRand(t *testing.T) {
+	cfg := lint.DefaultConfig()
+	linttest.Run(t, lint.NewSeededRand(cfg), fixture("seededrand", "flagged"), simDrivenPath)
+	linttest.Run(t, lint.NewSeededRand(cfg), fixture("seededrand", "allowed"), simDrivenPath)
+}
+
+func TestMapOrder(t *testing.T) {
+	cfg := lint.DefaultConfig()
+	linttest.Run(t, lint.NewMapOrder(cfg), fixture("maporder", "flagged"), simDrivenPath)
+	linttest.Run(t, lint.NewMapOrder(cfg), fixture("maporder", "allowed"), simDrivenPath)
+}
+
+func TestRawGoroutine(t *testing.T) {
+	cfg := lint.DefaultConfig()
+	linttest.Run(t, lint.NewRawGoroutine(cfg), fixture("rawgoroutine", "flagged"), simDrivenPath)
+	linttest.Run(t, lint.NewRawGoroutine(cfg), fixture("rawgoroutine", "allowed"), kernelPath)
+}
+
+func TestDroppedErr(t *testing.T) {
+	cfg := lint.DefaultConfig()
+	linttest.Run(t, lint.NewDroppedErr(cfg), fixture("droppederr", "flagged"), simDrivenPath)
+	linttest.Run(t, lint.NewDroppedErr(cfg), fixture("droppederr", "allowed"), simDrivenPath)
+}
+
+// TestRepoClean runs the whole suite over the whole repository: the merged
+// tree carries zero findings, and stays that way. This is the same gate CI
+// runs via `go run ./cmd/pvmlint ./...`; skipped under -short because it
+// type-checks the full module from source.
+func TestRepoClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-repo lint is not a -short test")
+	}
+	loader := lint.NewLoader()
+	pkgs, err := loader.LoadPatterns([]string{"pvmigrate/..."})
+	if err != nil {
+		t.Fatalf("loading repository: %v", err)
+	}
+	analyzers := lint.All(lint.DefaultConfig())
+	for _, pkg := range pkgs {
+		diags, err := lint.RunAnalyzers(pkg, analyzers)
+		if err != nil {
+			t.Fatalf("%s: %v", pkg.Path, err)
+		}
+		for _, d := range diags {
+			t.Errorf("%s: %s (%s)", d.Position, d.Message, d.Analyzer)
+		}
+	}
+}

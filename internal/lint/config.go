@@ -1,0 +1,103 @@
+package lint
+
+// Config names the packages each invariant governs and the calls each
+// analyzer treats as significant. All policy is here — an analyzer never
+// consults comments to decide scope (the one comment the suite reads,
+// droppederr's `// lint:reason`, justifies a single discard site; it cannot
+// widen scope).
+type Config struct {
+	// SimDriven lists import-path prefixes whose code runs under the
+	// virtual-time kernel and must therefore be deterministic. Everything
+	// the determinism analyzers flag is scoped to these.
+	SimDriven []string
+
+	// WallClockAllow exempts packages from nowallclock: the sim kernel
+	// itself (it owns virtual time and may consult nothing else, but its
+	// tests time out against the real clock) — cmd/ and examples/ entry
+	// points are outside SimDriven already.
+	WallClockAllow []string
+
+	// ConcurrencyAllow exempts packages from rawgoroutine: internal/sim
+	// holds the one sanctioned goroutine trampoline (Kernel.Spawn in
+	// proc.go and its channel hand-off in kernel.go); everything above it
+	// must use sim.Proc scheduling.
+	ConcurrencyAllow []string
+
+	// EffectCalls maps a callee package path to the function/method names
+	// whose invocation is order-visible: scheduling a sim event, sending a
+	// frame, recording trace state. A map-range body containing one of
+	// these depends on iteration order.
+	EffectCalls map[string][]string
+
+	// EffectNames lists callee base names that are order-visible wherever
+	// they are declared — the repo's own send/trace/cancel helpers, which
+	// wrap the packages above and would otherwise hide the effect from
+	// maporder.
+	EffectNames []string
+
+	// ProtocolFuncs maps a callee package path to the function/method
+	// names on the protocol message paths whose error result must be
+	// consumed: a swallowed Send/Dial/Transfer or checkpoint-I/O error is
+	// a protocol hole the chaos sweep can only find by luck.
+	ProtocolFuncs map[string][]string
+
+	// IncludeTests extends the checks into _test.go files. Off by
+	// default: tests drive the simulation from outside and may use the
+	// real clock for their own watchdogs.
+	IncludeTests bool
+}
+
+// DefaultConfig is the policy for this repository.
+func DefaultConfig() *Config {
+	return &Config{
+		SimDriven: []string{
+			"pvmigrate/internal",
+		},
+		WallClockAllow: []string{
+			"pvmigrate/internal/sim",
+		},
+		ConcurrencyAllow: []string{
+			"pvmigrate/internal/sim",
+		},
+		EffectCalls: map[string][]string{
+			"pvmigrate/internal/sim": {
+				"Spawn", "SpawnAt", "Schedule", "ScheduleAt",
+				"Signal", "Broadcast", "Interrupt",
+			},
+			"pvmigrate/internal/netsim": {
+				"Send", "SendDgram", "Dial", "Deliver",
+			},
+			"pvmigrate/internal/trace": {
+				"Record", "Add", "Append", "Emit",
+			},
+			"pvmigrate/internal/pvm": {
+				"Send", "SendAs", "SendCtl", "Spawn", "ForceKill", "Kill",
+			},
+		},
+		EffectNames: []string{
+			// The repo's own wrappers around the calls above: package-local
+			// helpers that send, schedule, trace, or tear down protocol
+			// state. Declared by name because the wrapper's own package is
+			// the one under analysis.
+			"Send", "SendAs", "SendCtl", "SendDgram",
+			"Spawn", "SpawnAt", "Schedule", "ScheduleAt",
+			"Signal", "Broadcast", "Interrupt", "ForceKill", "Kill",
+			"Deliver", "trace", "Trace", "Record", "Emit",
+			"cancelMigration", "maybeFinishFlush",
+		},
+		ProtocolFuncs: map[string][]string{
+			"pvmigrate/internal/netsim": {
+				"Send", "Dial", "Transfer",
+			},
+			"pvmigrate/internal/checkpoint": {
+				"Write", "Read", "Save", "Load",
+			},
+			"pvmigrate/internal/pvm": {
+				"Send", "SendAs", "Spawn", "CrashHost", "ReviveHost",
+			},
+			"pvmigrate/internal/mpvm": {
+				"Send", "SendAs", "Migrate", "FlushAndHold", "Respawn",
+			},
+		},
+	}
+}

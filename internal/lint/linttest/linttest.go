@@ -1,0 +1,134 @@
+// Package linttest runs a lint.Analyzer over a testdata package and checks
+// its diagnostics against `// want` comments, in the manner of
+// golang.org/x/tools/go/analysis/analysistest:
+//
+//	for k := range m { // want `order-visible`
+//
+// A want comment holds one or more backquote-free double-quoted or
+// backquoted regular expressions; every diagnostic reported on that line
+// must match one of them, and every pattern must be matched by exactly one
+// diagnostic. A fixture file with no want comments asserts the analyzer
+// stays silent on it.
+package linttest
+
+import (
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"pvmigrate/internal/lint"
+)
+
+// One loader for the whole test binary: the standard library and the
+// repo's own packages are type-checked once, not once per fixture.
+var loader = lint.NewLoader()
+
+var wantRE = regexp.MustCompile("//\\s*want\\s+(.*)$")
+
+// Run loads dir as a single package under importPath, applies the
+// analyzer, and diffs its diagnostics against the fixture's want comments.
+// importPath is part of the fixture: analyzers scope themselves by package
+// path, so the same source loaded under an allowlisted path must produce
+// no diagnostics.
+func Run(t *testing.T, a *lint.Analyzer, dir, importPath string) {
+	t.Helper()
+	pkg, err := loader.LoadDir(dir, importPath)
+	if err != nil {
+		t.Fatalf("loading %s as %s: %v", dir, importPath, err)
+	}
+	diags, err := lint.RunAnalyzers(pkg, []*lint.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s on %s: %v", a.Name, importPath, err)
+	}
+
+	type key struct {
+		file string
+		line int
+	}
+	wants := make(map[key][]*regexp.Regexp)
+	for _, file := range pkg.Files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, pat := range splitPatterns(m[1]) {
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want pattern %q: %v", pos.Filename, pos.Line, pat, err)
+					}
+					k := key{pos.Filename, pos.Line}
+					wants[k] = append(wants[k], re)
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		k := key{d.Position.Filename, d.Position.Line}
+		matched := false
+		for i, re := range wants[k] {
+			if re.MatchString(d.Message) {
+				wants[k] = append(wants[k][:i], wants[k][i+1:]...)
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s (%s)", fmtKey(k), d.Message, d.Analyzer)
+		}
+	}
+	for k, res := range wants {
+		for _, re := range res {
+			t.Errorf("%s: expected diagnostic matching %q, got none", fmtKey(k), re.String())
+		}
+	}
+}
+
+func fmtKey(k struct {
+	file string
+	line int
+}) string {
+	return fmt.Sprintf("%s:%d", k.file, k.line)
+}
+
+// splitPatterns parses the tail of a want comment: a sequence of
+// double-quoted (strconv-unquotable) or backquoted regular expressions.
+func splitPatterns(s string) []string {
+	var pats []string
+	s = strings.TrimSpace(s)
+	for s != "" {
+		switch s[0] {
+		case '`':
+			end := strings.Index(s[1:], "`")
+			if end < 0 {
+				return append(pats, s[1:])
+			}
+			pats = append(pats, s[1:1+end])
+			s = strings.TrimSpace(s[end+2:])
+		case '"':
+			// Find the closing quote, honouring escapes.
+			i := 1
+			for i < len(s) && (s[i] != '"' || s[i-1] == '\\') {
+				i++
+			}
+			raw := s[:min(i+1, len(s))]
+			if un, err := strconv.Unquote(raw); err == nil {
+				pats = append(pats, un)
+			} else {
+				pats = append(pats, strings.Trim(raw, `"`))
+			}
+			if i+1 >= len(s) {
+				return pats
+			}
+			s = strings.TrimSpace(s[i+1:])
+		default:
+			return append(pats, s)
+		}
+	}
+	return pats
+}

@@ -1,0 +1,104 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// randPkgs are the global-generator packages. Their package-level functions
+// (Intn, Float64, Perm, Shuffle, …) draw from a process-global, wall-clock
+// or runtime seeded stream, so two runs of the same scenario diverge. The
+// constructors that accept an explicit source (New, NewSource, NewZipf,
+// NewPCG, NewChaCha8) are allowed — that is exactly how a seed is threaded
+// from scenario config.
+var randPkgs = map[string]bool{
+	"math/rand":    true,
+	"math/rand/v2": true,
+}
+
+var randConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+// NewSeededRand builds the seededrand analyzer: all randomness in
+// sim-driven code must flow through a generator seeded from the scenario
+// (sim.RNG, or a *rand.Rand built from an explicit source) so that one
+// seed replays one schedule. Methods on *rand.Rand are fine; the
+// package-level convenience functions are not, and neither is seeding a
+// source from the wall clock.
+func NewSeededRand(cfg *Config) *Analyzer {
+	a := &Analyzer{
+		Name: "seededrand",
+		Doc:  "forbid the global math/rand generator and wall-clock seeds in sim-driven code",
+	}
+	a.Run = func(pass *Pass) error {
+		path := pass.Pkg.Path()
+		if !pathInAny(path, cfg.SimDriven) {
+			return nil
+		}
+		for _, file := range pass.Files {
+			if !cfg.IncludeTests && testFile(pass.Fset, file.Pos()) {
+				continue
+			}
+			ast.Inspect(file, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.SelectorExpr:
+					f, ok := pass.Info.Uses[n.Sel].(*types.Func)
+					if !ok || !isPkgLevel(f) || !randPkgs[funcPkgPath(f)] {
+						return true
+					}
+					if randConstructors[f.Name()] {
+						return true
+					}
+					pass.Reportf(n.Pos(),
+						"%s.%s draws from the process-global generator; thread a *rand.Rand (or sim.RNG) seeded from the scenario instead",
+						funcPkgPath(f), f.Name())
+				case *ast.CallExpr:
+					f := funcFor(pass.Info, n.Fun)
+					if f == nil || !randPkgs[funcPkgPath(f)] || !randConstructors[f.Name()] {
+						return true
+					}
+					if arg := wallClockSeedArg(pass.Info, n); arg != nil {
+						pass.Reportf(arg.Pos(),
+							"%s.%s seeded from the wall clock; derive the seed from scenario config so runs replay",
+							funcPkgPath(f), f.Name())
+					}
+				}
+				return true
+			})
+		}
+		return nil
+	}
+	return a
+}
+
+// wallClockSeedArg returns the first argument subtree of call that invokes
+// a wall-clock function (e.g. rand.NewSource(time.Now().UnixNano())).
+func wallClockSeedArg(info *types.Info, call *ast.CallExpr) ast.Node {
+	var found ast.Node
+	for _, arg := range call.Args {
+		ast.Inspect(arg, func(n ast.Node) bool {
+			if found != nil {
+				return false
+			}
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			f, ok := info.Uses[sel.Sel].(*types.Func)
+			if !ok || !isPkgLevel(f) {
+				return true
+			}
+			if names, ok := wallClockFuncs[funcPkgPath(f)]; ok && names[f.Name()] {
+				found = sel
+				return false
+			}
+			return true
+		})
+		if found != nil {
+			return found
+		}
+	}
+	return nil
+}

@@ -1,0 +1,28 @@
+// Fixture: the accepted forms — errors propagated, handled, or discarded
+// with an explicit justification the analyzer can audit at the site.
+package allowed
+
+import (
+	"pvmigrate/internal/netsim"
+	"pvmigrate/internal/sim"
+)
+
+func propagated(p *sim.Proc, c *netsim.Conn) error {
+	return c.Send(p, 64, nil)
+}
+
+func handled(p *sim.Proc, c *netsim.Conn) bool {
+	if err := c.Send(p, 64, nil); err != nil {
+		return false
+	}
+	return true
+}
+
+func justifiedSameLine(p *sim.Proc, c *netsim.Conn) {
+	_ = c.Send(p, 64, nil) // lint:reason fixture: best-effort probe, failure observable elsewhere
+}
+
+func justifiedLineAbove(p *sim.Proc, c *netsim.Conn) {
+	// lint:reason fixture: best-effort probe, failure observable elsewhere
+	_ = c.Send(p, 64, nil)
+}

@@ -1,0 +1,31 @@
+// Fixture: the two map ranges maporder accepts — the canonical
+// collect-then-sort key loop, and a body whose effects are commutative
+// (pure arithmetic, writes keyed by the loop variable).
+package allowed
+
+import "sort"
+
+func sortedKeys(m map[int]int) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+func sum(m map[int]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+func invert(m map[int]int) map[int]int {
+	out := make(map[int]int, len(m))
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}

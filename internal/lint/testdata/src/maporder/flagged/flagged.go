@@ -1,0 +1,31 @@
+// Fixture: map ranges whose bodies are order-visible — an effect-named
+// method call, a kernel event scheduled per entry, and an escaping append
+// that is never sorted.
+package flagged
+
+import "pvmigrate/internal/sim"
+
+type endpoint struct{}
+
+func (e *endpoint) Send(v int) {}
+
+func sendEach(m map[int]int, e *endpoint) {
+	for _, v := range m { // want `iteration over map m is order-visible \(call to Send\)`
+		e.Send(v)
+	}
+}
+
+func scheduleEach(m map[int]int, k *sim.Kernel) {
+	for key := range m { // want `iteration over map m is order-visible \(call to pvmigrate/internal/sim\.Schedule\)`
+		d := sim.Time(key)
+		k.Schedule(d, func() {})
+	}
+}
+
+func collectUnsorted(m map[int]int) []int {
+	var keys []int
+	for k := range m { // want `iteration over map m is order-visible \(append to keys which outlives the loop\)`
+		keys = append(keys, k)
+	}
+	return keys
+}

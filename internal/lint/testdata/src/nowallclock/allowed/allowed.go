@@ -1,0 +1,14 @@
+// Fixture: identical wall-clock reads, but the package is loaded under the
+// allowlisted pvmigrate/internal/sim path — the kernel owns real time (its
+// tests need watchdogs), so nowallclock must stay silent here.
+package allowed
+
+import "time"
+
+func kernelWatchdog() time.Time {
+	return time.Now()
+}
+
+func kernelPause() {
+	time.Sleep(time.Millisecond)
+}

@@ -1,0 +1,34 @@
+// Fixture: wall-clock reads in a sim-driven package. Loaded under a
+// pvmigrate/internal/... import path so nowallclock applies.
+package flagged
+
+import (
+	"context"
+	"time"
+)
+
+func deadline() time.Time {
+	return time.Now() // want `time\.Now reads the wall clock`
+}
+
+func delay() {
+	time.Sleep(time.Millisecond) // want `time\.Sleep reads the wall clock`
+}
+
+func arm() <-chan time.Time {
+	return time.After(time.Second) // want `time\.After reads the wall clock`
+}
+
+func timer() *time.Timer {
+	return time.NewTimer(time.Second) // want `time\.NewTimer reads the wall clock`
+}
+
+func ctx(parent context.Context) (context.Context, context.CancelFunc) {
+	return context.WithTimeout(parent, time.Second) // want `context\.WithTimeout reads the wall clock`
+}
+
+// Durations and duration arithmetic are virtual-time friendly: only the
+// clock-reading entry points are flagged.
+func durationOnly() time.Duration {
+	return 20 * time.Millisecond
+}

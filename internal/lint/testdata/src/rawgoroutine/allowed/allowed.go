@@ -1,0 +1,12 @@
+// Fixture: the same trampoline the kernel uses (a run/yield channel pair
+// and a goroutine per coroutine), loaded under the allowlisted
+// pvmigrate/internal/sim path — rawgoroutine must stay silent.
+package allowed
+
+func trampoline() {
+	run := make(chan struct{})
+	go func() {
+		<-run
+	}()
+	run <- struct{}{}
+}

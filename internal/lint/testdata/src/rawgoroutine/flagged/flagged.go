@@ -1,0 +1,30 @@
+// Fixture: host concurrency in a sim-driven package — every one of these
+// races the kernel's deterministic schedule.
+package flagged
+
+import "sync"
+
+func work() {}
+
+func spawn() {
+	go work() // want `go statement in sim-scheduled code`
+}
+
+func channels() {
+	ch := make(chan int, 1) // want `make of channel in sim-scheduled code`
+	ch <- 1                 // want `channel send in sim-scheduled code`
+	<-ch                    // want `channel receive in sim-scheduled code`
+}
+
+func selects(a, b chan int) {
+	select { // want `select statement in sim-scheduled code`
+	case <-a: // want `channel receive in sim-scheduled code`
+	case <-b: // want `channel receive in sim-scheduled code`
+	}
+}
+
+func locks() {
+	var mu sync.Mutex // want `sync\.Mutex in sim-scheduled code`
+	mu.Lock()
+	defer mu.Unlock()
+}

@@ -1,0 +1,15 @@
+// Fixture: the sanctioned pattern — a *rand.Rand built from an explicit
+// scenario seed, with all draws as methods on it. seededrand must stay
+// silent even though this is a sim-driven package path.
+package allowed
+
+import "math/rand"
+
+func scenarioRNG(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+func draws(seed int64) (int, float64) {
+	r := scenarioRNG(seed)
+	return r.Intn(10), r.Float64()
+}

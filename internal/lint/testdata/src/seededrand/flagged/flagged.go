@@ -1,0 +1,20 @@
+// Fixture: global-generator draws and wall-clock seeds in a sim-driven
+// package.
+package flagged
+
+import (
+	"math/rand"
+	"time"
+)
+
+func draw() int {
+	return rand.Intn(10) // want `math/rand\.Intn draws from the process-global generator`
+}
+
+func shuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `math/rand\.Shuffle draws from the process-global generator`
+}
+
+func wallSeeded() *rand.Rand {
+	return rand.New(rand.NewSource(time.Now().UnixNano())) // want `math/rand\.New seeded from the wall clock` `math/rand\.NewSource seeded from the wall clock`
+}

@@ -1,0 +1,62 @@
+package mpvm
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"pvmigrate/internal/core"
+)
+
+// respawnWorldview runs one fresh respawn scenario and returns the
+// "4:worldview" trace line: the tid map a re-incarnated task is taught by
+// its mpvmd. The scenario registers enough tasks that globalRemap spans
+// several map buckets, so an unsorted iteration leaks Go's per-range map
+// seed into the line. Go randomizes iteration order on every range
+// statement, so repeated fresh runs inside one process explore different
+// seeds — no GODEBUG or subprocess needed.
+func respawnWorldview(t *testing.T) string {
+	t.Helper()
+	k, s := testSystem(t, 2)
+	var line string
+	s.SetTracer(func(actor, stage, detail string) {
+		if stage == "4:worldview" {
+			line = detail
+		}
+	})
+	const n = 10
+	origs := make([]core.TID, n)
+	for i := 0; i < n; i++ {
+		mt, err := s.SpawnMigratable(i%2, fmt.Sprintf("w%d", i), 1<<16, func(mt *MTask) {})
+		if err != nil {
+			t.Fatal(err)
+		}
+		origs[i] = mt.OrigTID()
+	}
+	// Every body exits immediately, so by t=1s the first incarnation is
+	// dead and Respawn's liveness guard passes.
+	k.Schedule(time.Second, func() {
+		if _, err := s.Respawn(origs[0], 1, "w0r", 1<<16, func(mt *MTask) {}); err != nil {
+			t.Errorf("respawn: %v", err)
+		}
+	})
+	k.Run()
+	if line == "" {
+		t.Fatal("no 4:worldview trace emitted")
+	}
+	return line
+}
+
+// TestRespawnWorldviewMapSeedDeterminism asserts the respawn worldview
+// fingerprint is identical across fresh runs. Reverting the sorted-keys
+// iteration in Respawn (recovery.go) makes this fail with probability
+// 1-(1/10!)^7 per test execution — and makes pvmlint's maporder analyzer
+// flag the range statement.
+func TestRespawnWorldviewMapSeedDeterminism(t *testing.T) {
+	first := respawnWorldview(t)
+	for i := 1; i < 8; i++ {
+		if got := respawnWorldview(t); got != first {
+			t.Fatalf("run %d worldview differs:\n  first: %s\n  got:   %s", i, first, got)
+		}
+	}
+}

@@ -25,6 +25,7 @@ package mpvm
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"time"
 
 	"pvmigrate/internal/cluster"
@@ -257,7 +258,18 @@ func (s *System) aliveDaemon() *pvm.Daemon {
 // crash).
 func (s *System) NoteHostUnreachable(host int) {
 	s.unreachable[host] = true
-	for orig, mig := range s.migrations {
+	// Cancellation sends frames and writes trace state, so the walk over
+	// in-flight migrations must not inherit map order.
+	origs := make([]core.TID, 0, len(s.migrations))
+	for orig := range s.migrations {
+		origs = append(origs, orig)
+	}
+	sort.Slice(origs, func(i, j int) bool { return origs[i] < origs[j] })
+	for _, orig := range origs {
+		mig, ok := s.migrations[orig]
+		if !ok {
+			continue // cancelled while handling an earlier entry
+		}
 		if mig.srcHost == host {
 			if d := s.aliveDaemon(); d != nil {
 				s.trace(fmt.Sprintf("mpvmd%d", d.Host().ID()), "2:flush-abort",
@@ -293,6 +305,7 @@ func (s *System) VPIDs() []core.TID {
 	for orig := range s.incarnations {
 		ids = append(ids, orig)
 	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	return ids
 }
 
@@ -343,8 +356,14 @@ func (s *System) forwardStale(d *pvm.Daemon, msg *pvm.Message) bool {
 	}
 	// No remap known yet. If the destination is mid-migration (detached
 	// from the source but not yet re-enrolled), hold the message briefly
-	// and retry: the restart broadcast will install the remap.
+	// and retry: the restart broadcast will install the remap. The scan
+	// schedules a retry event, so it walks the keys in sorted order.
+	origs := make([]core.TID, 0, len(s.migrations))
 	for orig := range s.migrations {
+		origs = append(origs, orig)
+	}
+	sort.Slice(origs, func(i, j int) bool { return origs[i] < origs[j] })
+	for _, orig := range origs {
 		if s.CurrentTID(orig) == msg.Dst {
 			retry := *msg
 			retry.Hops++

@@ -230,7 +230,8 @@ func (s *System) onSkeletonReq(d *pvm.Daemon, req *skeletonReq) {
 			}
 			// State assumed: tell the source so it can exit and the task
 			// can restart here.
-			conn.Send(p, s.cfg.CtlBytes, "state-assumed")
+			// lint:reason a broken transfer connection surfaces as the source's own Recv error, which aborts the migration
+			_ = conn.Send(p, s.cfg.CtlBytes, "state-assumed")
 		})
 		d.SendCtl(req.srcHost, s.cfg.CtlBytes,
 			&pvm.CtlMsg{Kind: "mpvm", Payload: &skeletonReady{rpc: req.rpc, port: port}})

@@ -3,6 +3,8 @@ package mpvm
 import (
 	"errors"
 	"fmt"
+	"sort"
+	"strings"
 
 	"pvmigrate/internal/core"
 	"pvmigrate/internal/pvm"
@@ -107,14 +109,26 @@ func (s *System) Respawn(orig core.TID, host int, name string, stateBytes int, b
 
 	// The fresh library starts from the machine's authoritative view of
 	// every other task (a respawned process re-learns the world from its
-	// mpvmd, not from history it no longer has).
-	for o, cur := range s.globalRemap {
+	// mpvmd, not from history it no longer has). The install is traced in
+	// a fixed order so a recovery replay fingerprints identically run to
+	// run — the worldview line is part of the determinism audit.
+	origs := make([]core.TID, 0, len(s.globalRemap))
+	for o := range s.globalRemap {
+		origs = append(origs, o)
+	}
+	sort.Slice(origs, func(i, j int) bool { return origs[i] < origs[j] })
+	view := make([]string, 0, len(origs))
+	for _, o := range origs {
 		if o == orig {
 			continue
 		}
+		cur := s.globalRemap[o]
 		nt.tidMap[o] = cur
 		nt.revMap[cur] = o
+		view = append(view, fmt.Sprintf("%v->%v", o, cur))
 	}
+	s.trace(fmt.Sprintf("mpvmd%d", host), "4:worldview",
+		fmt.Sprintf("respawned %v learns %s", orig, strings.Join(view, " ")))
 	s.linkHooks(nt, task)
 
 	d := s.m.Daemon(host)

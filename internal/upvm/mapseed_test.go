@@ -1,0 +1,76 @@
+package upvm
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"pvmigrate/internal/core"
+)
+
+// upvmFingerprint runs one fresh UPVM scenario — two senders feeding a
+// receiver that migrates mid-stream — and returns the full timestamped
+// trace as a fingerprint. Any map-order (or other schedule) nondeterminism
+// anywhere on the path shows up as a differing fingerprint, because Go
+// reseeds map iteration on every range statement.
+func upvmFingerprint(t *testing.T) string {
+	t.Helper()
+	k, s := testSystem(t, 2)
+	var b strings.Builder
+	s.SetTracer(func(actor, stage, detail string) {
+		fmt.Fprintf(&b, "%v %s %s %s\n", k.Now(), actor, stage, detail)
+	})
+	_, err := s.Start("app", []ULPSpec{
+		{Host: 0, DataBytes: mb(0.3)},  // receiver: migrates 0→1 mid-stream
+		{Host: 1, DataBytes: mb(0.05)}, // remote sender
+		{Host: 0, DataBytes: mb(0.05)}, // local sender
+	}, func(u *ULP, rank int) {
+		if rank == 0 {
+			for i := 0; i < 6; i++ {
+				if _, _, _, err := u.Recv(core.AnyTID, core.AnyTag); err != nil {
+					t.Errorf("recv %d: %v", i, err)
+					return
+				}
+			}
+			return
+		}
+		for i := 0; i < 3; i++ {
+			if err := u.Send(ULPTID(0), rank, core.NewBuffer().PkInt(i).PkVirtual(5_000)); err != nil {
+				t.Errorf("rank %d send %d: %v", rank, i, err)
+				return
+			}
+			u.Proc().Sleep(400 * time.Millisecond)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.Schedule(700*time.Millisecond, func() {
+		if err := s.Migrate(0, 1, core.ReasonManual); err != nil {
+			t.Errorf("migrate: %v", err)
+		}
+	})
+	k.Run()
+	fp := b.String()
+	if fp == "" {
+		t.Fatal("no trace emitted")
+	}
+	if n := len(s.Records()); n != 1 {
+		t.Fatalf("migration records = %d, want 1", n)
+	}
+	return fp
+}
+
+// TestScenarioMapSeedDeterminism asserts one UPVM migration scenario
+// fingerprints identically across fresh in-process runs — the dynamic
+// counterpart to pvmlint's static maporder check.
+func TestScenarioMapSeedDeterminism(t *testing.T) {
+	first := upvmFingerprint(t)
+	for i := 1; i < 6; i++ {
+		if got := upvmFingerprint(t); got != first {
+			t.Fatalf("run %d fingerprint differs from first:\n--- first ---\n%s\n--- run %d ---\n%s",
+				i, first, i, got)
+		}
+	}
+}

@@ -61,7 +61,9 @@ func (p *Process) onCtl(t *pvm.Task, r *core.Reader) {
 		// UPVM's contrast with MPVM's sender blocking.
 		p.locator[ulpID] = dest
 		ack := core.NewBuffer().PkString("flush-ack").PkInt(ulpID)
-		p.task.Send(p.sys.procs[srcHost].task.Mytid(), tagCtl, ack)
+		if err := p.task.Send(p.sys.procs[srcHost].task.Mytid(), tagCtl, ack); err != nil {
+			return // source process gone: the migration it was running died with it
+		}
 	case "flush-ack":
 		ulpID, _ := r.UpkInt()
 		if fs, ok := p.flushWait[ulpID]; ok {
@@ -124,7 +126,11 @@ func (p *Process) runMigration(mp *sim.Proc, u *ULP, dest int, reason core.Migra
 			continue
 		}
 		buf := core.NewBuffer().PkString("flush").PkInt(u.id).PkInt(dest).PkInt(p.host)
-		p.task.SendAs(mp, other.task.Mytid(), tagCtl, buf)
+		if err := p.task.SendAs(mp, other.task.Mytid(), tagCtl, buf); err != nil {
+			// A dead peer holds no in-transit messages to drain; its ack
+			// will never come, so it leaves the barrier.
+			fs.want--
+		}
 	}
 	p.sys.trace(fmt.Sprintf("proc%d", p.host), "2:flush", "flush to all processes; new location published")
 	for fs.have < fs.want {
@@ -160,7 +166,9 @@ func (p *Process) runMigration(mp *sim.Proc, u *ULP, dest int, reason core.Migra
 	hdr := core.NewBuffer().PkString("hdr").PkInt(u.id).PkInt(segBytes).
 		PkInt(len(inbox)).PkString(string(reason)).
 		PkInt(int(start)).PkInt(p.host)
-	p.task.SendAs(mp, destProc.task.Mytid(), tagXfer, hdr)
+	if err := p.task.SendAs(mp, destProc.task.Mytid(), tagXfer, hdr); err != nil {
+		return // destination gone: abandon, like an interrupted transfer
+	}
 	remaining := segBytes
 	for remaining > 0 {
 		chunk := remaining
@@ -171,7 +179,9 @@ func (p *Process) runMigration(mp *sim.Proc, u *ULP, dest int, reason core.Migra
 			return
 		}
 		buf := core.NewBuffer().PkString("chunk").PkInt(u.id).PkVirtual(chunk)
-		p.task.SendAs(mp, destProc.task.Mytid(), tagXfer, buf)
+		if err := p.task.SendAs(mp, destProc.task.Mytid(), tagXfer, buf); err != nil {
+			return
+		}
 		remaining -= chunk
 	}
 	for _, msg := range inbox {
@@ -181,10 +191,14 @@ func (p *Process) runMigration(mp *sim.Proc, u *ULP, dest int, reason core.Migra
 		srcID, _ := ULPFromTID(msg.Src)
 		buf := core.NewBuffer().PkString("inboxmsg").PkInt(u.id).
 			PkInt(srcID).PkInt(msg.Tag).PkBuffer(msg.Buf)
-		p.task.SendAs(mp, destProc.task.Mytid(), tagXfer, buf)
+		if err := p.task.SendAs(mp, destProc.task.Mytid(), tagXfer, buf); err != nil {
+			return
+		}
 	}
 	fin := core.NewBuffer().PkString("fin").PkInt(u.id).PkInt(int(mp.Now()))
-	p.task.SendAs(mp, destProc.task.Mytid(), tagXfer, fin)
+	if err := p.task.SendAs(mp, destProc.task.Mytid(), tagXfer, fin); err != nil {
+		return
+	}
 	p.sys.trace(fmt.Sprintf("proc%d", p.host), "3:off-source", fmt.Sprintf("ULP%d state off-loaded (pkbyte/send)", u.id))
 	// All ULP state is off the source host: the obtrusiveness window ends
 	// here, even though the destination may not have received everything

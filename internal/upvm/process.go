@@ -205,7 +205,11 @@ func (p *Process) forward(dstID int, msg *UMessage) {
 		PkInt(srcID).PkInt(dstID).PkInt(msg.Tag).
 		PkVirtual(p.sys.cfg.RemoteHeaderBytes).
 		PkBuffer(msg.Buf)
-	p.task.Send(dst.task.Mytid(), tagData, wrapped)
+	if err := p.task.Send(dst.task.Mytid(), tagData, wrapped); err != nil {
+		// Remote process unreachable: hold the message like any other
+		// not-yet-routable delivery instead of dropping it silently.
+		p.pending[dstID] = append(p.pending[dstID], msg)
+	}
 }
 
 // drainPending moves held messages into a newly arrived ULP's inbox.
