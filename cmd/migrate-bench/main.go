@@ -7,6 +7,7 @@
 //	migrate-bench -table 2     # one table (1..6, or "4x" for the extension)
 //	migrate-bench -figure 1    # one figure (1..4)
 //	migrate-bench -extensions  # the beyond-the-paper experiments
+//	migrate-bench -parallel 4  # shard each table's independent runs on 4 threads
 package main
 
 import (
@@ -21,7 +22,9 @@ func main() {
 	table := flag.String("table", "", "regenerate one table: 1, 2, 3, 4, 4x, 5 or 6")
 	figure := flag.String("figure", "", "regenerate one figure: 1, 2, 3 or 4")
 	extensions := flag.Bool("extensions", false, "run the beyond-the-paper extension experiments")
+	parallel := flag.Int("parallel", 0, "worker threads for a table's independent runs (0 = GOMAXPROCS, 1 = serial)")
 	flag.Parse()
+	harness.SetParallel(*parallel)
 
 	tables := map[string]func() string{
 		"1":  func() string { return harness.Table1().String() },
@@ -41,7 +44,7 @@ func main() {
 
 	switch {
 	case *extensions:
-		fmt.Println("Extensions beyond the paper's evaluation (see DESIGN.md §7)")
+		fmt.Println("Extensions beyond the paper's evaluation (see DESIGN.md §8)")
 		fmt.Println()
 		fmt.Println(harness.ExtensionCheckpoint())
 		fmt.Println(harness.ExtensionGranularity())

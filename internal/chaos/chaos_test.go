@@ -9,11 +9,27 @@ import (
 
 // seedFlag reproduces one explored schedule: go test ./internal/chaos
 // -run TestSeed -seed N [-scenario name]. A sweep failure names the exact
-// (scenario, seed) pair to pass here.
+// (scenario, seed) pair to pass here. seedsFlag/parallelFlag size the
+// TestSweep exploration, so the CI smoke job and a local deep sweep share
+// one code path: go test ./internal/chaos -run TestSweep -seeds 1000
+// -parallel 8.
 var (
 	seedFlag     = flag.Int64("seed", -1, "re-run one chaos seed across the scenarios (or -scenario)")
 	scenarioFlag = flag.String("scenario", "", "restrict -seed to one scenario by name")
+	seedsFlag    = flag.Int("seeds", 0, "TestSweep seed count (default 200, or 25 with -short)")
+	parallelFlag = flag.Int("parallel", 0, "sweep worker threads (default GOMAXPROCS, 1 = serial)")
 )
+
+// sweepSeeds resolves the -seeds flag against the -short default.
+func sweepSeeds() int {
+	if *seedsFlag > 0 {
+		return *seedsFlag
+	}
+	if testing.Short() {
+		return 25
+	}
+	return 200
+}
 
 // sweepConfig is the audited configuration: real Opt math so the final loss
 // fingerprints every gradient application bit-for-bit.
@@ -70,23 +86,49 @@ func TestSeed(t *testing.T) {
 	}
 }
 
-// TestSweep is the interleaving search: many seeds per scenario, each
-// audited by every checker; the determinism double-run samples every 8th
-// seed (the fingerprint covers the full schedule, so a nondeterminism bug
-// has many chances to trip it).
+// TestSweep is the interleaving search: many seeds per scenario (-seeds),
+// sharded across host threads (-parallel), each audited by every checker;
+// the determinism double-run samples every 8th seed (the fingerprint
+// covers the full schedule, so a nondeterminism bug has many chances to
+// trip it).
 func TestSweep(t *testing.T) {
-	seeds := 200
-	if testing.Short() {
-		seeds = 25
+	opts := SweepOptions{
+		Seeds:            sweepSeeds(),
+		Workers:          *parallelFlag,
+		DeterminismEvery: 8,
+		Config:           sweepConfig,
 	}
 	for _, sc := range Scenarios {
 		sc := sc
 		t.Run(sc.Name, func(t *testing.T) {
-			for seed := 0; seed < seeds; seed++ {
-				res := audit(t, sc, uint64(seed), seed%8 == 0)
-				if t.Failed() {
-					t.Fatalf("reproduce with: go test ./internal/chaos -run TestSeed -seed %d -scenario %s",
-						res.Seed, sc.Name)
+			for _, rep := range Violations(Sweep(sc, opts)) {
+				t.Errorf("%s\n  faults: %+v\n  reproduce with: %s",
+					rep.Violation, rep.Faults, rep.ReproCommand())
+			}
+		})
+	}
+}
+
+// TestParallelSweepMatchesSerial pins the parallel runner's determinism
+// contract: sharding seeded runs across host threads must change
+// wall-clock only. The three scenarios run over 32 seeds serially and on
+// 4 workers; every per-seed fingerprint and checker verdict must match
+// bit-for-bit.
+func TestParallelSweepMatchesSerial(t *testing.T) {
+	const seeds = 32
+	for _, sc := range Scenarios {
+		sc := sc
+		t.Run(sc.Name, func(t *testing.T) {
+			serial := Sweep(sc, SweepOptions{Seeds: seeds, Workers: 1, Config: sweepConfig})
+			par := Sweep(sc, SweepOptions{Seeds: seeds, Workers: 4, Config: sweepConfig})
+			for i := range serial {
+				if par[i].Fingerprint != serial[i].Fingerprint {
+					t.Errorf("seed %d: parallel fingerprint %+v != serial %+v",
+						i, par[i].Fingerprint, serial[i].Fingerprint)
+				}
+				if par[i].Violation != serial[i].Violation {
+					t.Errorf("seed %d: parallel verdict %q != serial %q",
+						i, par[i].Violation, serial[i].Violation)
 				}
 			}
 		})

@@ -22,7 +22,7 @@ type CPU struct {
 	jobs       map[*cpuJob]struct{}
 	nextSeq    int // admission order, the deterministic completion tie-break
 	lastUpdate sim.Time
-	completion *sim.Timer
+	completion sim.Timer
 
 	totalDone float64 // completed work units, for utilization probes
 }
@@ -96,10 +96,8 @@ func (c *CPU) advance() {
 // reschedule cancels any pending completion event and schedules one for the
 // earliest-finishing job under the current sharing level.
 func (c *CPU) reschedule() {
-	if c.completion != nil {
-		c.completion.Cancel()
-		c.completion = nil
-	}
+	c.completion.Cancel()
+	c.completion = sim.Timer{}
 	minRemaining := math.Inf(1)
 	for j := range c.jobs {
 		if j.remaining < minRemaining {
@@ -138,7 +136,7 @@ func (c *CPU) onCompletion() {
 			j.doneCond.Broadcast()
 		}
 	}
-	c.completion = nil
+	c.completion = sim.Timer{}
 	c.reschedule()
 }
 

@@ -5,6 +5,7 @@ import (
 
 	"pvmigrate/internal/metrics"
 	"pvmigrate/internal/sim"
+	"pvmigrate/internal/sweep"
 )
 
 // The per-experiment configurations, fixed here so the benchmark suite, the
@@ -40,8 +41,11 @@ func migrateAfterDistribution(totalBytes int) sim.Time {
 
 // Table1 regenerates "PVM vs. MPVM, normal (no migration) execution".
 func Table1() *metrics.Table {
-	pvmOut := RunPVM(Table1Scenario)
-	mpvmOut := RunMPVM(Table1Scenario)
+	runs := parRuns(
+		func() *Outcome { return RunPVM(Table1Scenario) },
+		func() *Outcome { return RunMPVM(Table1Scenario) },
+	)
+	pvmOut, mpvmOut := runs[0], runs[1]
 	t := metrics.NewTable("Table 1. PVM vs. MPVM quiet-case runtime (9 MB training set)",
 		"system", "measured (s)", "paper (s)", "delta %")
 	t.AddRow("PVM", pvmOut.Elapsed.Seconds(), 198.0, metrics.DeltaPct(pvmOut.Elapsed.Seconds(), 198))
@@ -55,14 +59,24 @@ func Table2() *metrics.Table {
 	t := metrics.NewTable("Table 2. MPVM obtrusiveness and migration cost (slave holds half the listed size)",
 		"data (MB)", "raw TCP (s)", "obtr (s)", "ratio", "migr (s)",
 		"paper raw", "paper obtr", "paper migr")
+	type sized struct {
+		raw float64
+		out *Outcome
+	}
+	runs := sweep.Map(len(Table2Sizes), parallelism, func(i int) sized {
+		total := Table2Sizes[i]
+		return sized{
+			raw: RawTCP(total / 2).Seconds(),
+			out: RunMPVM(Scenario{
+				TotalBytes: total,
+				Iterations: 8,
+				MigrateAt:  migrateAfterDistribution(total),
+				MigrateTo:  0,
+			}),
+		}
+	})
 	for i, total := range Table2Sizes {
-		raw := RawTCP(total / 2).Seconds()
-		out := RunMPVM(Scenario{
-			TotalBytes: total,
-			Iterations: 8,
-			MigrateAt:  migrateAfterDistribution(total),
-			MigrateTo:  0,
-		})
+		out := runs[i].out
 		if out.Err != nil || len(out.Records) != 1 {
 			t.AddNote("size %d failed: err=%v records=%d", total, out.Err, len(out.Records))
 			continue
@@ -70,7 +84,7 @@ func Table2() *metrics.Table {
 		r := out.Records[0]
 		obtr := r.Obtrusiveness().Seconds()
 		cost := r.Cost().Seconds()
-		t.AddRow(float64(total)/1e6, raw, obtr, obtr/raw, cost,
+		t.AddRow(float64(total)/1e6, runs[i].raw, obtr, obtr/runs[i].raw, cost,
 			PaperTable2RawTCP[i], PaperTable2Obtr[i], PaperTable2Cost[i])
 	}
 	t.AddNote("ratio = obtrusiveness / raw TCP; approaches ~1.2 for large sizes as in the paper")
@@ -79,8 +93,11 @@ func Table2() *metrics.Table {
 
 // Table3 regenerates "PVM vs. UPVM, normal execution" (SPMD_opt, 0.6 MB).
 func Table3() *metrics.Table {
-	pvmOut := RunPVM(Table3Scenario)
-	upvmOut := RunUPVM(Table3Scenario)
+	runs := parRuns(
+		func() *Outcome { return RunPVM(Table3Scenario) },
+		func() *Outcome { return RunUPVM(Table3Scenario) },
+	)
+	pvmOut, upvmOut := runs[0], runs[1]
 	t := metrics.NewTable("Table 3. PVM vs. UPVM quiet-case runtime (SPMD_opt, 0.6 MB)",
 		"system", "measured (s)", "paper (s)", "delta %")
 	t.AddRow("PVM", pvmOut.Elapsed.Seconds(), 4.92, metrics.DeltaPct(pvmOut.Elapsed.Seconds(), 4.92))
@@ -114,13 +131,16 @@ func Table4() *metrics.Table {
 func Table4Extended() *metrics.Table {
 	t := metrics.NewTable("Table 4x. UPVM migration sweep (extension: the paper's promised full results)",
 		"data (MB)", "obtr (s)", "migr (s)")
-	for _, total := range Table2Sizes {
-		out := RunUPVM(Scenario{
-			TotalBytes: total,
+	runs := sweep.Map(len(Table2Sizes), parallelism, func(i int) *Outcome {
+		return RunUPVM(Scenario{
+			TotalBytes: Table2Sizes[i],
 			Iterations: 10,
-			MigrateAt:  migrateAfterDistribution(total),
+			MigrateAt:  migrateAfterDistribution(Table2Sizes[i]),
 			MigrateTo:  0,
 		})
+	})
+	for i, total := range Table2Sizes {
+		out := runs[i]
 		if out.Err != nil || len(out.Records) != 1 {
 			t.AddNote("size %d failed: err=%v records=%d", total, out.Err, len(out.Records))
 			continue
@@ -134,8 +154,11 @@ func Table4Extended() *metrics.Table {
 
 // Table5 regenerates "Quiet-case overhead, PVM_opt versus ADMopt".
 func Table5() *metrics.Table {
-	pvmOut := RunPVM(Table1Scenario)
-	admOut := RunADM(Table1Scenario)
+	runs := parRuns(
+		func() *Outcome { return RunPVM(Table1Scenario) },
+		func() *Outcome { return RunADM(Table1Scenario) },
+	)
+	pvmOut, admOut := runs[0], runs[1]
 	t := metrics.NewTable("Table 5. Quiet-case overhead, PVM_opt versus ADMopt (9 MB)",
 		"system", "measured (s)", "paper (s)", "delta %")
 	t.AddRow("PVM_opt", pvmOut.Elapsed.Seconds(), 188.0, metrics.DeltaPct(pvmOut.Elapsed.Seconds(), 188))
@@ -149,12 +172,15 @@ func Table5() *metrics.Table {
 func Table6() *metrics.Table {
 	t := metrics.NewTable("Table 6. ADMopt obtrusiveness (= migration cost)",
 		"data (MB)", "migr (s)", "paper (s)", "delta %")
-	for i, total := range Table2Sizes {
-		out := RunADM(Scenario{
-			TotalBytes: total,
+	runs := sweep.Map(len(Table2Sizes), parallelism, func(i int) *Outcome {
+		return RunADM(Scenario{
+			TotalBytes: Table2Sizes[i],
 			Iterations: 8,
-			MigrateAt:  migrateAfterDistribution(total),
+			MigrateAt:  migrateAfterDistribution(Table2Sizes[i]),
 		})
+	})
+	for i, total := range Table2Sizes {
+		out := runs[i]
 		if out.Err != nil || len(out.Records) != 1 {
 			t.AddNote("size %d failed: err=%v records=%d", total, out.Err, len(out.Records))
 			continue
@@ -215,17 +241,23 @@ type GranularityResult struct {
 // job (halving its effective speed) in both runs.
 func GranularityExperiment() GranularityResult {
 	load := map[int]int{1: 1}
-	coarse := RunMPVM(Scenario{
-		TotalBytes:     4_200_000,
-		Iterations:     6,
-		BackgroundLoad: load,
-	})
-	fine := RunUPVM(Scenario{
-		TotalBytes:     4_200_000,
-		Iterations:     6,
-		Slaves:         6,
-		SlaveHosts:     []int{0, 0, 0, 0, 1, 1},
-		BackgroundLoad: load,
-	})
-	return GranularityResult{MPVMCoarse: coarse.Elapsed, UPVMFine: fine.Elapsed}
+	runs := parRuns(
+		func() *Outcome {
+			return RunMPVM(Scenario{
+				TotalBytes:     4_200_000,
+				Iterations:     6,
+				BackgroundLoad: load,
+			})
+		},
+		func() *Outcome {
+			return RunUPVM(Scenario{
+				TotalBytes:     4_200_000,
+				Iterations:     6,
+				Slaves:         6,
+				SlaveHosts:     []int{0, 0, 0, 0, 1, 1},
+				BackgroundLoad: load,
+			})
+		},
+	)
+	return GranularityResult{MPVMCoarse: runs[0].Elapsed, UPVMFine: runs[1].Elapsed}
 }

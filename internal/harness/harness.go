@@ -19,8 +19,26 @@ import (
 	"pvmigrate/internal/opt"
 	"pvmigrate/internal/pvm"
 	"pvmigrate/internal/sim"
+	"pvmigrate/internal/sweep"
 	"pvmigrate/internal/upvm"
 )
+
+// parallelism bounds the host workers sharding a table's independent runs;
+// 0 means GOMAXPROCS, 1 forces the serial path. Every run owns a private
+// kernel and cluster, so the setting changes wall-clock only — never a
+// result (the same contract TestParallelSweepMatchesSerial pins for the
+// chaos sweep).
+var parallelism int
+
+// SetParallel sets the worker bound for subsequent table regenerations
+// (cmd/migrate-bench -parallel N).
+func SetParallel(n int) { parallelism = n }
+
+// parRuns executes independent experiment runs across the configured
+// workers and returns the outcomes in argument order.
+func parRuns(fns ...func() *Outcome) []*Outcome {
+	return sweep.Map(len(fns), parallelism, func(i int) *Outcome { return fns[i]() })
+}
 
 // Scenario describes one Opt experiment. The default topology is the
 // paper's: two HP 9000/720 workstations on 10 Mb/s Ethernet, a master VP

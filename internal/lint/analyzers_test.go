@@ -16,6 +16,11 @@ const simDrivenPath = "pvmigrate/internal/lintfixture"
 // here must produce no diagnostics.
 const kernelPath = "pvmigrate/internal/sim"
 
+// sweepPath is the allowlisted sweep-runner package: its worker-pool
+// fan-out of whole independent runs is the one host concurrency sanctioned
+// outside the kernel.
+const sweepPath = "pvmigrate/internal/sweep"
+
 func fixture(analyzer, variant string) string {
 	return filepath.Join("testdata", "src", analyzer, variant)
 }
@@ -42,6 +47,11 @@ func TestRawGoroutine(t *testing.T) {
 	cfg := lint.DefaultConfig()
 	linttest.Run(t, lint.NewRawGoroutine(cfg), fixture("rawgoroutine", "flagged"), simDrivenPath)
 	linttest.Run(t, lint.NewRawGoroutine(cfg), fixture("rawgoroutine", "allowed"), kernelPath)
+	// The sweep runner's worker pool is silent under its own allowlisted
+	// path and fully flagged under any other sim-driven path: the
+	// allowlist names the package, not the idiom.
+	linttest.Run(t, lint.NewRawGoroutine(cfg), fixture("rawgoroutine", "sweeprunner"), sweepPath)
+	linttest.Run(t, lint.NewRawGoroutine(cfg), fixture("rawgoroutine", "sweepelsewhere"), simDrivenPath)
 }
 
 func TestDroppedErr(t *testing.T) {

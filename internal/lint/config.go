@@ -19,8 +19,9 @@ type Config struct {
 
 	// ConcurrencyAllow exempts packages from rawgoroutine: internal/sim
 	// holds the one sanctioned goroutine trampoline (Kernel.Spawn in
-	// proc.go and its channel hand-off in kernel.go); everything above it
-	// must use sim.Proc scheduling.
+	// proc.go and its channel hand-off in kernel.go), and internal/sweep
+	// the one sanctioned fan-out of *whole independent runs* across host
+	// threads; everything else must use sim.Proc scheduling.
 	ConcurrencyAllow []string
 
 	// EffectCalls maps a callee package path to the function/method names
@@ -58,6 +59,7 @@ func DefaultConfig() *Config {
 		},
 		ConcurrencyAllow: []string{
 			"pvmigrate/internal/sim",
+			"pvmigrate/internal/sweep",
 		},
 		EffectCalls: map[string][]string{
 			"pvmigrate/internal/sim": {

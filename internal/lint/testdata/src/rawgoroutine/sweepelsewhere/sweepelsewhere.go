@@ -1,0 +1,29 @@
+// Fixture: the exact worker-pool idiom the sweep runner is allowed to use,
+// loaded under an ordinary sim-driven path. The allowlist names the one
+// package, not the pattern: goroutines and sync primitives elsewhere still
+// flag.
+package sweepelsewhere
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+func fanOut(n, workers int, fn func(i int)) {
+	var next atomic.Int64 // want `sync/atomic\.Int64 in sim-scheduled code`
+	var wg sync.WaitGroup // want `sync\.WaitGroup in sim-scheduled code`
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() { // want `go statement in sim-scheduled code`
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,30 @@
+// Fixture: the sweep runner's worker-pool idiom — goroutines, a WaitGroup
+// and an atomic work counter fanning independent runs across host threads.
+// Loaded under the allowlisted pvmigrate/internal/sweep path, rawgoroutine
+// must stay silent; the same shape under any other sim-driven path flags
+// every construct (see ../sweepelsewhere).
+package sweeprunner
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+func fanOut(n, workers int, fn func(i int)) {
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

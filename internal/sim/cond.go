@@ -21,7 +21,7 @@ func NewCond(k *Kernel) *Cond { return &Cond{k: k} }
 // arrives). Use in a loop around the predicate.
 func (c *Cond) Wait(p *Proc) error {
 	c.waiters = append(c.waiters, condWaiter{p: p, gen: p.gen})
-	return p.block(nil)
+	return p.block(Timer{})
 }
 
 // Signal wakes one waiting proc, if any. Waiters that were already woken by

@@ -1,79 +1,94 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"sort"
 )
 
-// event is a single entry on the kernel's priority queue. An event either
-// wakes a blocked Proc (p != nil) or invokes a kernel-context callback
-// (fn != nil). Callbacks run inline in the event loop and must not block.
+// event is a single entry on the kernel's event queue, stored by value in
+// an implicit 4-ary min-heap. An event either wakes a blocked Proc
+// (p != nil) or invokes a kernel-context callback (fn != nil). Callbacks
+// run inline in the event loop and must not block.
+//
+// Events are plain records, not heap allocations: Schedule and the proc
+// wake path are zero-alloc in steady state (see DESIGN.md §7). Cancelation
+// state lives out-of-line in the kernel's cell pool (cell >= 0) because
+// heap records move as the heap sifts; cell == -1 marks a non-cancelable
+// event (Signal/Broadcast/Interrupt/Spawn wakes, whose staleness is
+// handled by the proc generation check alone).
 type event struct {
-	at       Time
-	prio     uint64 // tie-break priority (0 unless a tie-breaker is installed)
-	seq      uint64 // final tie-breaker: schedule order
-	fn       func()
-	p        *Proc
-	gen      uint64 // wake generation the event targets (stale wakes are skipped)
+	at   Time
+	prio uint64 // tie-break priority (0 unless a tie-breaker is installed)
+	seq  uint64 // final tie-breaker: schedule order
+	gen  uint64 // wake generation the event targets (stale wakes are skipped)
+	fn   func()
+	p    *Proc
+	cell int32 // cancel-cell index, -1 when the event cannot be canceled
+}
+
+// eventBefore is the queue's total order: (time, tie-break prio, seq).
+// seq is unique per kernel, so the order is total and the heap's arity
+// cannot influence dispatch order.
+func eventBefore(a, b *event) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	if a.prio != b.prio {
+		return a.prio < b.prio
+	}
+	return a.seq < b.seq
+}
+
+// cancelCell is the out-of-line cancelation state of one in-flight
+// cancelable event. Cells are pooled and recycled through a free list; the
+// stamp increments at every recycle so a stale Timer handle (canceling
+// after its event already fired) can never touch the slot's next tenant.
+type cancelCell struct {
+	stamp    uint32
 	canceled bool
-	index    int // heap index, -1 when popped
 }
 
-// Timer is a handle to a scheduled callback that can be canceled.
-type Timer struct{ ev *event }
+// Timer is a handle to a scheduled cancelable event. The zero Timer is
+// valid and inert. Timers are plain values: copying one copies the handle,
+// not the event.
+type Timer struct {
+	k     *Kernel
+	cell  int32
+	stamp uint32
+}
 
-// Cancel prevents the timer's callback from running. Canceling an already
-// fired or already canceled timer is a no-op.
-func (t *Timer) Cancel() {
-	if t != nil && t.ev != nil {
-		t.ev.canceled = true
+// Cancel prevents the timer's event from firing. Canceling the zero Timer,
+// an already fired, or an already canceled timer is a no-op.
+func (t Timer) Cancel() {
+	if t.k == nil {
+		return
+	}
+	c := &t.k.cells[t.cell]
+	if c.stamp == t.stamp {
+		c.canceled = true
 	}
 }
 
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	if h[i].prio != h[j].prio {
-		return h[i].prio < h[j].prio
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-func (h *eventHeap) Push(x any) {
-	e := x.(*event)
-	e.index = len(*h)
-	*h = append(*h, e)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.index = -1
-	*h = old[:n-1]
-	return e
-}
+// heapArity is the fan-out of the implicit event heap. Four keeps the tree
+// half as deep as a binary heap (fewer sift levels per push/pop) while the
+// children of a node still share one or two cache lines.
+const heapArity = 4
 
 // Kernel is the discrete-event simulation engine. The zero value is not
 // usable; create kernels with NewKernel.
 type Kernel struct {
 	now     Time
 	seq     uint64
-	events  eventHeap
+	events  []event // implicit 4-ary min-heap ordered by eventBefore
 	running *Proc
-	yield   chan struct{} // proc -> kernel: "I have blocked or finished"
 	procs   []*Proc
 	nextPID int
 	stopped bool
+
+	// Cancel-cell pool. freeCells is the free list; in steady state every
+	// schedule/pop pair recycles a cell and neither slice grows.
+	cells     []cancelCell
+	freeCells []int32
 
 	// tiebreak, when non-nil, assigns each event a pseudo-random priority
 	// that precedes seq in the heap ordering. Equal-time events are then
@@ -85,7 +100,7 @@ type Kernel struct {
 
 // NewKernel returns a kernel with the clock at time zero and no events.
 func NewKernel() *Kernel {
-	return &Kernel{yield: make(chan struct{})}
+	return &Kernel{}
 }
 
 // Now returns the current virtual time.
@@ -114,9 +129,86 @@ func (k *Kernel) nextPrio() uint64 {
 // Stop makes Run return after the event currently being processed.
 func (k *Kernel) Stop() { k.stopped = true }
 
+// heapPush inserts e, sifting up with the hole-propagation idiom: parents
+// move down until e's slot is found, then e is written once.
+func (k *Kernel) heapPush(e event) {
+	h := append(k.events, event{})
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / heapArity
+		if !eventBefore(&e, &h[parent]) {
+			break
+		}
+		h[i] = h[parent]
+		i = parent
+	}
+	h[i] = e
+	k.events = h
+}
+
+// heapPop removes and returns the minimum event.
+func (k *Kernel) heapPop() event {
+	h := k.events
+	top := h[0]
+	n := len(h) - 1
+	last := h[n]
+	h[n] = event{} // release the fn/p references
+	h = h[:n]
+	k.events = h
+	if n > 0 {
+		i := 0
+		for {
+			first := i*heapArity + 1
+			if first >= n {
+				break
+			}
+			min := first
+			end := first + heapArity
+			if end > n {
+				end = n
+			}
+			for c := first + 1; c < end; c++ {
+				if eventBefore(&h[c], &h[min]) {
+					min = c
+				}
+			}
+			if !eventBefore(&h[min], &last) {
+				break
+			}
+			h[i] = h[min]
+			i = min
+		}
+		h[i] = last
+	}
+	return top
+}
+
+// newCell takes a cancel cell from the free list (or grows the pool) and
+// returns its index and current stamp.
+func (k *Kernel) newCell() (int32, uint32) {
+	if n := len(k.freeCells); n > 0 {
+		idx := k.freeCells[n-1]
+		k.freeCells = k.freeCells[:n-1]
+		return idx, k.cells[idx].stamp
+	}
+	k.cells = append(k.cells, cancelCell{})
+	return int32(len(k.cells) - 1), 0
+}
+
+// retireCell reads a popped event's canceled flag and recycles its cell.
+// The stamp bump invalidates every outstanding Timer handle to the slot.
+func (k *Kernel) retireCell(idx int32) (canceled bool) {
+	c := &k.cells[idx]
+	canceled = c.canceled
+	c.canceled = false
+	c.stamp++
+	k.freeCells = append(k.freeCells, idx)
+	return canceled
+}
+
 // Schedule arranges for fn to run in kernel context at now+d. fn must not
 // block; it may spawn procs, signal conditions and schedule further events.
-func (k *Kernel) Schedule(d Time, fn func()) *Timer {
+func (k *Kernel) Schedule(d Time, fn func()) Timer {
 	if d < 0 {
 		d = 0
 	}
@@ -125,30 +217,42 @@ func (k *Kernel) Schedule(d Time, fn func()) *Timer {
 
 // ScheduleAt is Schedule with an absolute virtual time. Times in the past
 // are clamped to now.
-func (k *Kernel) ScheduleAt(at Time, fn func()) *Timer {
+func (k *Kernel) ScheduleAt(at Time, fn func()) Timer {
 	if at < k.now {
 		at = k.now
 	}
 	return k.scheduleAt(at, fn)
 }
 
-func (k *Kernel) scheduleAt(at Time, fn func()) *Timer {
+func (k *Kernel) scheduleAt(at Time, fn func()) Timer {
 	k.seq++
-	e := &event{at: at, prio: k.nextPrio(), seq: k.seq, fn: fn}
-	heap.Push(&k.events, e)
-	return &Timer{ev: e}
+	idx, stamp := k.newCell()
+	k.heapPush(event{at: at, prio: k.nextPrio(), seq: k.seq, fn: fn, cell: idx})
+	return Timer{k: k, cell: idx, stamp: stamp}
 }
 
-// scheduleWake enqueues a wake event for p targeting its current blocking
-// generation.
-func (k *Kernel) scheduleWake(p *Proc, at Time, gen uint64) *event {
+// scheduleWake enqueues a non-cancelable wake event for p targeting its
+// current blocking generation (Cond signals, interrupts, spawn starts).
+// Staleness is handled entirely by the generation check at dispatch.
+func (k *Kernel) scheduleWake(p *Proc, at Time, gen uint64) {
 	if at < k.now {
 		at = k.now
 	}
 	k.seq++
-	e := &event{at: at, prio: k.nextPrio(), seq: k.seq, p: p, gen: gen}
-	heap.Push(&k.events, e)
-	return e
+	k.heapPush(event{at: at, prio: k.nextPrio(), seq: k.seq, p: p, gen: gen, cell: -1})
+}
+
+// scheduleWakeTimer enqueues a cancelable wake for p — the timer wake a
+// blocking call owns (Sleep, Yield) and cancels when the proc is woken by
+// something else, so the leftover event cannot fire late.
+func (k *Kernel) scheduleWakeTimer(p *Proc, at Time, gen uint64) Timer {
+	if at < k.now {
+		at = k.now
+	}
+	k.seq++
+	idx, stamp := k.newCell()
+	k.heapPush(event{at: at, prio: k.nextPrio(), seq: k.seq, p: p, gen: gen, cell: idx})
+	return Timer{k: k, cell: idx, stamp: stamp}
 }
 
 // Run processes events until the queue is empty or Stop is called. It
@@ -174,9 +278,9 @@ func (k *Kernel) run(deadline Time) int {
 		if deadline >= 0 && k.events[0].at > deadline {
 			break
 		}
-		e := heap.Pop(&k.events).(*event)
-		if e.canceled {
-			continue
+		e := k.heapPop()
+		if e.cell >= 0 && k.retireCell(e.cell) {
+			continue // canceled events do not advance the clock
 		}
 		if e.at > k.now {
 			k.now = e.at
@@ -194,12 +298,15 @@ func (k *Kernel) run(deadline Time) int {
 	return k.blockedCount()
 }
 
-// dispatch resumes p and waits until it blocks again or finishes.
+// dispatch resumes p and waits until it blocks again or finishes. Kernel
+// and proc hand control back and forth over the proc's single unbuffered
+// handoff channel; at most one of the two is ever runnable between the
+// rendezvous points, so the schedule stays deterministic.
 func (k *Kernel) dispatch(p *Proc) {
 	k.running = p
 	p.state = pRunning
-	p.run <- struct{}{}
-	<-k.yield
+	p.hand <- struct{}{}
+	<-p.hand
 	k.running = nil
 	if p.panicked != nil {
 		panic(fmt.Sprintf("sim: proc %q panicked: %v", p.name, p.panicked))

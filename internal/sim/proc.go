@@ -40,12 +40,15 @@ func IsInterrupted(err error) (*Interrupted, bool) {
 // executes at a time, so proc code needs no locking when touching shared
 // simulation state.
 type Proc struct {
-	k        *Kernel
-	id       int
-	name     string
-	state    procState
-	gen      uint64 // increments around every block; stale wakes are dropped
-	run      chan struct{}
+	k     *Kernel
+	id    int
+	name  string
+	state procState
+	gen   uint64 // increments around every block; stale wakes are dropped
+	// hand is the proc's single reusable handoff channel: the kernel sends
+	// to resume the proc, the proc sends to yield back. Unbuffered, so each
+	// hand-over is a rendezvous and the two sides strictly alternate.
+	hand     chan struct{}
 	body     func(*Proc)
 	panicked any
 	doneCond *Cond
@@ -69,7 +72,7 @@ func (k *Kernel) SpawnAt(at Time, name string, body func(*Proc)) *Proc {
 		id:    k.nextPID,
 		name:  name,
 		state: pBlocked,
-		run:   make(chan struct{}),
+		hand:  make(chan struct{}),
 		body:  body,
 	}
 	p.doneCond = NewCond(k)
@@ -80,13 +83,13 @@ func (k *Kernel) SpawnAt(at Time, name string, body func(*Proc)) *Proc {
 }
 
 func (p *Proc) main() {
-	<-p.run // first dispatch
+	<-p.hand // first dispatch
 	defer func() {
 		if r := recover(); r != nil {
 			p.panicked = r
 		}
 		p.state = pDone
-		p.k.yield <- struct{}{}
+		p.hand <- struct{}{}
 	}()
 	p.body(p)
 }
@@ -107,26 +110,24 @@ func (p *Proc) Now() Time { return p.k.now }
 func (p *Proc) Done() bool { return p.state == pDone }
 
 // block suspends the proc until a wake event targeting the current
-// generation fires. wakeEv, when non-nil, is the timer wake belonging to
+// generation fires. wake, when non-zero, is the timer wake belonging to
 // this block; it is canceled if the proc is woken by something else (e.g. an
-// interrupt) so it cannot fire late and corrupt a future block.
-func (p *Proc) block(wakeEv *event) error {
+// interrupt) so it cannot fire late and corrupt a future block. Canceling
+// the wake that actually fired is a no-op (its cancel cell was already
+// recycled), so the unconditional Cancel below is safe.
+func (p *Proc) block(wake Timer) error {
 	if p.k.running != p {
 		panic(fmt.Sprintf("sim: blocking call on proc %q from outside its own context", p.name))
 	}
 	if p.intrPending && !p.intrMasked {
-		if wakeEv != nil {
-			wakeEv.canceled = true
-		}
+		wake.Cancel()
 		return p.takeInterrupt()
 	}
 	p.state = pBlocked
-	p.k.yield <- struct{}{}
-	<-p.run
+	p.hand <- struct{}{}
+	<-p.hand
 	p.gen++ // any wake events targeting the old generation are now stale
-	if wakeEv != nil {
-		wakeEv.canceled = true
-	}
+	wake.Cancel()
 	if p.intrPending && !p.intrMasked {
 		return p.takeInterrupt()
 	}
@@ -146,8 +147,8 @@ func (p *Proc) Sleep(d Time) error {
 	if d <= 0 {
 		return p.Yield()
 	}
-	ev := p.k.scheduleWake(p, p.k.now+d, p.gen)
-	return p.block(ev)
+	wake := p.k.scheduleWakeTimer(p, p.k.now+d, p.gen)
+	return p.block(wake)
 }
 
 // SleepUntil suspends the proc until the absolute virtual time t.
@@ -155,15 +156,15 @@ func (p *Proc) SleepUntil(t Time) error {
 	if t <= p.k.now {
 		return p.Yield()
 	}
-	ev := p.k.scheduleWake(p, t, p.gen)
-	return p.block(ev)
+	wake := p.k.scheduleWakeTimer(p, t, p.gen)
+	return p.block(wake)
 }
 
 // Yield re-queues the proc at the current time, letting other ready procs
 // and events run first. Like all blocking calls it is an interrupt point.
 func (p *Proc) Yield() error {
-	ev := p.k.scheduleWake(p, p.k.now, p.gen)
-	return p.block(ev)
+	wake := p.k.scheduleWakeTimer(p, p.k.now, p.gen)
+	return p.block(wake)
 }
 
 // Join blocks until other's body has returned.

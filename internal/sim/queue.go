@@ -8,11 +8,18 @@ var ErrQueueClosed = errors.New("sim: queue closed")
 // Queue is a FIFO channel between procs. A capacity of 0 means unbounded.
 // Get blocks while the queue is empty; Put blocks while a bounded queue is
 // full. Both are interrupt points.
+//
+// Items live in a power-of-two ring buffer, so a steady put/get stream
+// recycles the same backing array instead of sliding an append window down
+// a slice (which reallocates every time the window reaches the end).
 type Queue[T any] struct {
-	k        *Kernel
-	items    []T
-	cap      int
-	closed   bool
+	k      *Kernel
+	buf    []T // ring storage; len(buf) is always 0 or a power of two
+	head   int // index of the oldest item
+	n      int // number of queued items
+	cap    int // bound; <= 0 means unbounded
+	closed bool
+
 	notEmpty *Cond
 	notFull  *Cond
 }
@@ -23,14 +30,54 @@ func NewQueue[T any](k *Kernel, cap int) *Queue[T] {
 }
 
 // Len returns the number of queued items.
-func (q *Queue[T]) Len() int { return len(q.items) }
+func (q *Queue[T]) Len() int { return q.n }
 
 // Closed reports whether Close has been called.
 func (q *Queue[T]) Closed() bool { return q.closed }
 
+// push appends v to the ring, growing it when full.
+func (q *Queue[T]) push(v T) {
+	if q.n == len(q.buf) {
+		q.grow()
+	}
+	q.buf[(q.head+q.n)&(len(q.buf)-1)] = v
+	q.n++
+}
+
+// grow doubles the ring (minimum 8 slots) and unrolls it to start at 0.
+func (q *Queue[T]) grow() {
+	newCap := 2 * len(q.buf)
+	if newCap == 0 {
+		newCap = 8
+	}
+	buf := make([]T, newCap)
+	q.copyOut(buf[:q.n])
+	q.buf = buf
+	q.head = 0
+}
+
+// copyOut copies the queued items, oldest first, into dst (len(dst) == q.n).
+func (q *Queue[T]) copyOut(dst []T) {
+	if q.n == 0 {
+		return
+	}
+	first := copy(dst, q.buf[q.head:min(q.head+q.n, len(q.buf))])
+	copy(dst[first:], q.buf[:q.n-first])
+}
+
+// pop removes and returns the oldest item. Callers must check q.n > 0.
+func (q *Queue[T]) pop() T {
+	var zero T
+	v := q.buf[q.head]
+	q.buf[q.head] = zero // release the reference
+	q.head = (q.head + 1) & (len(q.buf) - 1)
+	q.n--
+	return v
+}
+
 // Put appends v, blocking while a bounded queue is full.
 func (q *Queue[T]) Put(p *Proc, v T) error {
-	for q.cap > 0 && len(q.items) >= q.cap && !q.closed {
+	for q.cap > 0 && q.n >= q.cap && !q.closed {
 		if err := q.notFull.Wait(p); err != nil {
 			return err
 		}
@@ -38,7 +85,7 @@ func (q *Queue[T]) Put(p *Proc, v T) error {
 	if q.closed {
 		return ErrQueueClosed
 	}
-	q.items = append(q.items, v)
+	q.push(v)
 	q.notEmpty.Signal()
 	return nil
 }
@@ -46,10 +93,10 @@ func (q *Queue[T]) Put(p *Proc, v T) error {
 // TryPut appends v without blocking; it reports whether the item was
 // accepted. Kernel-context callbacks (which cannot block) use this.
 func (q *Queue[T]) TryPut(v T) bool {
-	if q.closed || (q.cap > 0 && len(q.items) >= q.cap) {
+	if q.closed || (q.cap > 0 && q.n >= q.cap) {
 		return false
 	}
-	q.items = append(q.items, v)
+	q.push(v)
 	q.notEmpty.Signal()
 	return true
 }
@@ -57,7 +104,7 @@ func (q *Queue[T]) TryPut(v T) bool {
 // Get removes and returns the head item, blocking while the queue is empty.
 func (q *Queue[T]) Get(p *Proc) (T, error) {
 	var zero T
-	for len(q.items) == 0 {
+	for q.n == 0 {
 		if q.closed {
 			return zero, ErrQueueClosed
 		}
@@ -65,8 +112,7 @@ func (q *Queue[T]) Get(p *Proc) (T, error) {
 			return zero, err
 		}
 	}
-	v := q.items[0]
-	q.items = q.items[1:]
+	v := q.pop()
 	q.notFull.Signal()
 	return v, nil
 }
@@ -74,11 +120,10 @@ func (q *Queue[T]) Get(p *Proc) (T, error) {
 // TryGet removes and returns the head item without blocking.
 func (q *Queue[T]) TryGet() (T, bool) {
 	var zero T
-	if len(q.items) == 0 {
+	if q.n == 0 {
 		return zero, false
 	}
-	v := q.items[0]
-	q.items = q.items[1:]
+	v := q.pop()
 	q.notFull.Signal()
 	return v, true
 }
@@ -86,16 +131,22 @@ func (q *Queue[T]) TryGet() (T, bool) {
 // Peek returns the head item without removing it.
 func (q *Queue[T]) Peek() (T, bool) {
 	var zero T
-	if len(q.items) == 0 {
+	if q.n == 0 {
 		return zero, false
 	}
-	return q.items[0], true
+	return q.buf[q.head], true
 }
 
 // Drain removes and returns all queued items.
 func (q *Queue[T]) Drain() []T {
-	out := q.items
-	q.items = nil
+	if q.n == 0 {
+		return nil
+	}
+	out := make([]T, q.n)
+	q.copyOut(out)
+	clear(q.buf)
+	q.head = 0
+	q.n = 0
 	q.notFull.Broadcast()
 	return out
 }

@@ -1,0 +1,94 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// The cancel-cell mechanics behind value Timers: a handle survives the heap
+// moving its event, firing retires the cell exactly once, and a stale
+// handle onto a recycled cell is a stamp-mismatch no-op.
+
+func TestTimerCancelPreventsFiring(t *testing.T) {
+	k := NewKernel()
+	fired := false
+	tm := k.Schedule(5*time.Second, func() { fired = true })
+	k.Schedule(10*time.Second, func() {})
+	tm.Cancel()
+	k.Run()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	if k.Now() != 10*time.Second {
+		t.Fatalf("clock = %v, want 10s", k.Now())
+	}
+}
+
+func TestTimerCancelledEventDoesNotAdvanceClock(t *testing.T) {
+	k := NewKernel()
+	tm := k.Schedule(30*time.Second, func() {})
+	var at Time
+	k.Schedule(10*time.Second, func() {
+		tm.Cancel()
+		k.Schedule(5*time.Second, func() { at = k.Now() })
+	})
+	k.Run()
+	// The cancelled event at t=30s must be dropped before the clock moves:
+	// quiescence is at the last live event, not at the tombstone.
+	if at != 15*time.Second || k.Now() != 15*time.Second {
+		t.Fatalf("clock = %v (inner fire at %v), want 15s", k.Now(), at)
+	}
+}
+
+func TestTimerCancelAfterFireIsNoOp(t *testing.T) {
+	k := NewKernel()
+	tm := k.Schedule(time.Second, func() {})
+	k.Run()
+
+	// tm's cell is now on the free list. The next Schedule recycles it with
+	// a bumped stamp; the stale handle must not cancel the new event.
+	fired := false
+	k.Schedule(time.Second, func() { fired = true })
+	tm.Cancel()
+	tm.Cancel() // double-cancel of a stale handle is equally inert
+	k.Run()
+	if !fired {
+		t.Fatal("stale Timer.Cancel killed an event on the recycled cell")
+	}
+}
+
+func TestTimerZeroValueCancelIsNoOp(t *testing.T) {
+	var tm Timer
+	tm.Cancel() // must not panic with no kernel attached
+
+	k := NewKernel()
+	fired := false
+	k.Schedule(time.Second, func() { fired = true })
+	tm.Cancel()
+	k.Run()
+	if !fired {
+		t.Fatal("zero-value Cancel affected a live event")
+	}
+}
+
+func TestTimerCancelManyAmongLive(t *testing.T) {
+	// Cancel every other timer in a large population so cancellation has to
+	// cope with cells retiring and recycling while the heap is hot.
+	k := NewKernel()
+	const n = 1000
+	fired := make([]bool, n)
+	timers := make([]Timer, n)
+	for i := 0; i < n; i++ {
+		i := i
+		timers[i] = k.Schedule(time.Duration(1+i%17)*time.Millisecond, func() { fired[i] = true })
+	}
+	for i := 0; i < n; i += 2 {
+		timers[i].Cancel()
+	}
+	k.Run()
+	for i := range fired {
+		if want := i%2 == 1; fired[i] != want {
+			t.Fatalf("event %d: fired=%v, want %v", i, fired[i], want)
+		}
+	}
+}
