@@ -9,6 +9,7 @@
 //	pvmsim -system adm -mb 4.2 -iters 8 -migrate-at 6s
 //	pvmsim -system upvm -hosts 3 -slaves 3 -mb 1.2
 //	pvmsim -system ft -hosts 8 -slaves 15 -crashes 3 -trace
+//	pvmsim -system mpvm -migrate-at 8s -wire
 package main
 
 import (
@@ -18,6 +19,7 @@ import (
 	"time"
 
 	"pvmigrate/internal/harness"
+	"pvmigrate/internal/netwire"
 )
 
 func main() {
@@ -35,6 +37,7 @@ func main() {
 	outage := flag.Duration("outage", 0, "ft: revive each crashed host after this long (0 = stay down)")
 	crashFrom := flag.Duration("crash-from", 0, "ft: earliest crash time (default 5s)")
 	crashTo := flag.Duration("crash-to", 0, "ft: latest crash time (default 30s; short runs may finish before crashes land)")
+	wire := flag.Bool("wire", false, "carry every cross-host payload over real loopback sockets (internal/netwire); timing stays the simulated cost model's")
 	flag.Parse()
 
 	if *system == "ft" {
@@ -53,6 +56,12 @@ func main() {
 		Real:       *real,
 		MigrateAt:  *migrateAt,
 		MigrateTo:  *migrateTo,
+	}
+	var wb *netwire.Backend
+	if *wire {
+		wb = netwire.New()
+		defer wb.Shutdown()
+		sc.Wire = wb
 	}
 	var out *harness.Outcome
 	var timeline string
@@ -88,6 +97,11 @@ func main() {
 	fmt.Printf("system: %s, %0.1f MB, %d hosts, %d iterations\n",
 		*system, *mb, *hosts, out.Result.Iterations)
 	fmt.Printf("application runtime: %.2f s (virtual)\n", out.Elapsed.Seconds())
+	if wb != nil {
+		st := wb.Stats()
+		fmt.Printf("wire traffic: %d datagrams (%d KB), %d streams, %d stream frames (%d KB)\n",
+			st.Dgrams, st.DgramBytes>>10, st.Streams, st.StreamFrames, st.StreamBytes>>10)
+	}
 	if *real && len(out.Result.Losses) > 0 {
 		fmt.Printf("loss trajectory: %.4f → %.4f\n",
 			out.Result.Losses[0], out.Result.FinalLoss)

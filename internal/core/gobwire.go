@@ -1,0 +1,74 @@
+package core
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+)
+
+// Wire-codec support: when frames ride the real-socket backend
+// (internal/netwire), every cross-host payload must survive encoding/gob.
+// Buffer's fields are unexported by design (the Pk/Upk API is the
+// interface), so it marshals through an exported mirror. The mirror
+// carries the byte accounting verbatim rather than recomputing it: packTime
+// and wire time are functions of Bytes(), and a decoded buffer must charge
+// exactly what the original did.
+
+// wireItem mirrors item with exported fields for gob.
+type wireItem struct {
+	Kind    int
+	I       int
+	Floats  []float64
+	Bytes   []byte
+	Str     string
+	Virtual int
+	Buf     *Buffer // nested buffers recurse through Buffer's own codec
+}
+
+// wireBuffer mirrors Buffer with exported fields for gob.
+type wireBuffer struct {
+	Items []wireItem
+	Bytes int
+}
+
+// GobEncode implements gob.GobEncoder.
+func (b *Buffer) GobEncode() ([]byte, error) {
+	w := wireBuffer{Bytes: b.bytes}
+	if len(b.items) > 0 {
+		w.Items = make([]wireItem, len(b.items))
+	}
+	for n, it := range b.items {
+		w.Items[n] = wireItem{
+			Kind: int(it.kind), I: it.i, Floats: it.floats,
+			Bytes: it.bytes, Str: it.str, Virtual: it.virtual, Buf: it.buf,
+		}
+	}
+	var out bytes.Buffer
+	if err := gob.NewEncoder(&out).Encode(w); err != nil {
+		return nil, err
+	}
+	return out.Bytes(), nil
+}
+
+// GobDecode implements gob.GobDecoder.
+func (b *Buffer) GobDecode(data []byte) error {
+	var w wireBuffer
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&w); err != nil {
+		return err
+	}
+	b.items = nil
+	if len(w.Items) > 0 {
+		b.items = make([]item, len(w.Items))
+	}
+	for n, it := range w.Items {
+		if it.Kind < int(kindInt) || it.Kind > int(kindBuffer) {
+			return fmt.Errorf("core: decoded buffer item %d has unknown kind %d", n, it.Kind)
+		}
+		b.items[n] = item{
+			kind: itemKind(it.Kind), i: it.I, floats: it.Floats,
+			bytes: it.Bytes, str: it.Str, virtual: it.Virtual, buf: it.Buf,
+		}
+	}
+	b.bytes = w.Bytes
+	return nil
+}

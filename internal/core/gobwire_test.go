@@ -1,0 +1,81 @@
+package core
+
+import (
+	"bytes"
+	"encoding/gob"
+	"testing"
+)
+
+func gobRoundTrip(t *testing.T, b *Buffer) *Buffer {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(b); err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	out := &Buffer{}
+	if err := gob.NewDecoder(bytes.NewReader(buf.Bytes())).Decode(out); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	return out
+}
+
+// A buffer survives gob with every item kind intact and the byte
+// accounting exact — wire time and packTime are functions of Bytes(), so a
+// decoded buffer must charge exactly what the original did.
+func TestBufferGobRoundTrip(t *testing.T) {
+	inner := NewBuffer().PkString("routing-header").PkInt(7)
+	b := NewBuffer().
+		PkInt(-42).
+		PkFloat64s([]float64{1.5, -2.25, 0}).
+		PkBytes([]byte{9, 8, 7}).
+		PkString("hello").
+		PkVirtual(123_456).
+		PkBuffer(inner)
+
+	got := gobRoundTrip(t, b)
+	if got.Bytes() != b.Bytes() {
+		t.Fatalf("Bytes() = %d, want %d", got.Bytes(), b.Bytes())
+	}
+	if got.Items() != b.Items() {
+		t.Fatalf("Items() = %d, want %d", got.Items(), b.Items())
+	}
+	r := got.Reader()
+	if v, err := r.UpkInt(); err != nil || v != -42 {
+		t.Fatalf("UpkInt = %d, %v", v, err)
+	}
+	if v, err := r.UpkFloat64s(); err != nil || len(v) != 3 || v[1] != -2.25 {
+		t.Fatalf("UpkFloat64s = %v, %v", v, err)
+	}
+	if v, err := r.UpkBytes(); err != nil || len(v) != 3 || v[0] != 9 {
+		t.Fatalf("UpkBytes = %v, %v", v, err)
+	}
+	if v, err := r.UpkString(); err != nil || v != "hello" {
+		t.Fatalf("UpkString = %q, %v", v, err)
+	}
+	if v, err := r.UpkVirtual(); err != nil || v != 123_456 {
+		t.Fatalf("UpkVirtual = %d, %v", v, err)
+	}
+	nested, err := r.UpkBuffer()
+	if err != nil {
+		t.Fatalf("UpkBuffer: %v", err)
+	}
+	if nested.Bytes() != inner.Bytes() {
+		t.Fatalf("nested Bytes() = %d, want %d", nested.Bytes(), inner.Bytes())
+	}
+	nr := nested.Reader()
+	if v, err := nr.UpkString(); err != nil || v != "routing-header" {
+		t.Fatalf("nested UpkString = %q, %v", v, err)
+	}
+	if v, err := nr.UpkInt(); err != nil || v != 7 {
+		t.Fatalf("nested UpkInt = %d, %v", v, err)
+	}
+}
+
+// Empty buffers are common (zero-payload control messages) and must
+// round-trip too.
+func TestBufferGobRoundTripEmpty(t *testing.T) {
+	got := gobRoundTrip(t, NewBuffer())
+	if got.Bytes() != 0 || got.Items() != 0 {
+		t.Fatalf("empty buffer decoded to %d bytes, %d items", got.Bytes(), got.Items())
+	}
+}

@@ -1,0 +1,38 @@
+package ft
+
+import (
+	"bytes"
+	"encoding/gob"
+)
+
+// Wire-codec support: heartbeats are the one ft payload that crosses hosts
+// on the datagram path (snapshots go to the checkpoint store, whose wire
+// transfers carry nil payloads — only their size is simulated). beat is a
+// value type with an unexported field, so it marshals through an exported
+// mirror; registering the value type lets gob reconstruct it inside the
+// receiver's `any` payload.
+
+func init() {
+	gob.Register(beat{})
+}
+
+type beatWire struct {
+	Host int
+}
+
+func (b beat) GobEncode() ([]byte, error) {
+	var out bytes.Buffer
+	if err := gob.NewEncoder(&out).Encode(beatWire{Host: b.host}); err != nil {
+		return nil, err
+	}
+	return out.Bytes(), nil
+}
+
+func (b *beat) GobDecode(data []byte) error {
+	var w beatWire
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&w); err != nil {
+		return err
+	}
+	*b = beat{host: w.Host}
+	return nil
+}

@@ -46,7 +46,7 @@ func TraceUPVMMigration(sc Scenario) (*trace.Log, *Outcome) {
 func Figure2Layout(sc Scenario) (string, error) {
 	sc = sc.withDefaults()
 	k := sim.NewKernel()
-	cl := buildCluster(k, sc.Hosts)
+	cl := buildCluster(k, sc.Hosts, sc.Wire)
 	m := pvm.NewMachine(cl, pvm.Config{})
 	sys := upvm.New(m, upvm.Config{})
 	p := sc.params()
@@ -92,7 +92,7 @@ func Figure4FSM() string {
 func runMPVMWithSetup(sc Scenario, setup func(*sim.Kernel, *mpvm.System)) *Outcome {
 	// Rebuild RunMPVM inline so the hook can attach before any spawns.
 	k := sim.NewKernel()
-	cl := buildCluster(k, sc.Hosts)
+	cl := buildCluster(k, sc.Hosts, sc.Wire)
 	m := pvm.NewMachine(cl, pvm.Config{DirectRoute: sc.Direct})
 	sys := mpvm.New(m, mpvm.Config{})
 	setup(k, sys)
@@ -130,7 +130,7 @@ func runMPVMWithSetup(sc Scenario, setup func(*sim.Kernel, *mpvm.System)) *Outco
 
 func runUPVMWithSetup(sc Scenario, setup func(*sim.Kernel, *upvm.System)) *Outcome {
 	k := sim.NewKernel()
-	cl := buildCluster(k, sc.Hosts)
+	cl := buildCluster(k, sc.Hosts, sc.Wire)
 	m := pvm.NewMachine(cl, pvm.Config{DirectRoute: sc.Direct})
 	sys := upvm.New(m, upvm.Config{})
 	setup(k, sys)

@@ -85,6 +85,12 @@ type Scenario struct {
 	// ADMRebalance turns the MigrateAt signal into a "rebalance" event for
 	// ADM runs (power-weighted repartition) instead of a withdrawal.
 	ADMRebalance bool
+	// Wire, when non-nil, installs a real-socket transport backend
+	// (internal/netwire): every cross-host payload round-trips through
+	// marshal → socket → unmarshal while timing stays the simulated cost
+	// model's, so outcomes are identical to the in-memory backend. The
+	// caller owns the backend's lifetime (netwire.Backend.Shutdown).
+	Wire netsim.Wire
 }
 
 func (sc Scenario) withDefaults() Scenario {
@@ -149,12 +155,12 @@ type Outcome struct {
 	Err error
 }
 
-func buildCluster(k *sim.Kernel, hosts int) *cluster.Cluster {
+func buildCluster(k *sim.Kernel, hosts int, wire netsim.Wire) *cluster.Cluster {
 	specs := make([]cluster.HostSpec, hosts)
 	for i := range specs {
 		specs[i] = cluster.DefaultHostSpec(fmt.Sprintf("host%d", i+1))
 	}
-	return cluster.New(k, netsim.Params{}, specs...)
+	return cluster.New(k, netsim.Params{Wire: wire}, specs...)
 }
 
 // stopIfOpenEnded halts the kernel when the scenario contains perpetual
@@ -184,7 +190,7 @@ func (sc Scenario) applyBackgroundLoad(cl *cluster.Cluster) {
 func RunPVM(sc Scenario) *Outcome {
 	sc = sc.withDefaults()
 	k := sim.NewKernel()
-	cl := buildCluster(k, sc.Hosts)
+	cl := buildCluster(k, sc.Hosts, sc.Wire)
 	sc.applyBackgroundLoad(cl)
 	m := pvm.NewMachine(cl, pvm.Config{DirectRoute: sc.Direct})
 	out := &Outcome{}
@@ -228,7 +234,7 @@ func RunPVM(sc Scenario) *Outcome {
 func runPVMWithParams(sc Scenario, p opt.Params) *Outcome {
 	sc = sc.withDefaults()
 	k := sim.NewKernel()
-	cl := buildCluster(k, sc.Hosts)
+	cl := buildCluster(k, sc.Hosts, sc.Wire)
 	sc.applyBackgroundLoad(cl)
 	m := pvm.NewMachine(cl, pvm.Config{DirectRoute: sc.Direct})
 	out := &Outcome{}
@@ -269,7 +275,7 @@ func runPVMWithParams(sc Scenario, p opt.Params) *Outcome {
 func RunMPVM(sc Scenario) *Outcome {
 	sc = sc.withDefaults()
 	k := sim.NewKernel()
-	cl := buildCluster(k, sc.Hosts)
+	cl := buildCluster(k, sc.Hosts, sc.Wire)
 	sc.applyBackgroundLoad(cl)
 	m := pvm.NewMachine(cl, pvm.Config{DirectRoute: sc.Direct})
 	sys := mpvm.New(m, mpvm.Config{})
@@ -314,7 +320,7 @@ func RunMPVM(sc Scenario) *Outcome {
 func RunUPVM(sc Scenario) *Outcome {
 	sc = sc.withDefaults()
 	k := sim.NewKernel()
-	cl := buildCluster(k, sc.Hosts)
+	cl := buildCluster(k, sc.Hosts, sc.Wire)
 	sc.applyBackgroundLoad(cl)
 	m := pvm.NewMachine(cl, pvm.Config{DirectRoute: sc.Direct})
 	ucfg := upvm.Config{}
@@ -376,7 +382,7 @@ func RunUPVM(sc Scenario) *Outcome {
 func RunADM(sc Scenario) *Outcome {
 	sc = sc.withDefaults()
 	k := sim.NewKernel()
-	cl := buildCluster(k, sc.Hosts)
+	cl := buildCluster(k, sc.Hosts, sc.Wire)
 	sc.applyBackgroundLoad(cl)
 	m := pvm.NewMachine(cl, pvm.Config{DirectRoute: sc.Direct})
 	out := &Outcome{}
@@ -435,7 +441,7 @@ func RunADM(sc Scenario) *Outcome {
 // Table 2's lower-bound column.
 func RawTCP(bytes int) sim.Time {
 	k := sim.NewKernel()
-	cl := buildCluster(k, 2)
+	cl := buildCluster(k, 2, nil)
 	l, err := cl.Host(1).Iface().Listen(9000)
 	if err != nil {
 		return 0
@@ -470,7 +476,7 @@ func RawTCP(bytes int) sim.Time {
 func OwnerReclaimScenario(sc Scenario, ownerHost int, ownerAt sim.Time) (*Outcome, []gs.Decision) {
 	sc = sc.withDefaults()
 	k := sim.NewKernel()
-	cl := buildCluster(k, sc.Hosts)
+	cl := buildCluster(k, sc.Hosts, sc.Wire)
 	sc.applyBackgroundLoad(cl)
 	m := pvm.NewMachine(cl, pvm.Config{DirectRoute: sc.Direct})
 	sys := mpvm.New(m, mpvm.Config{})

@@ -17,9 +17,14 @@ const simDrivenPath = "pvmigrate/internal/lintfixture"
 const kernelPath = "pvmigrate/internal/sim"
 
 // sweepPath is the allowlisted sweep-runner package: its worker-pool
-// fan-out of whole independent runs is the one host concurrency sanctioned
-// outside the kernel.
+// fan-out of whole independent runs is one of the two host concurrencies
+// sanctioned outside the kernel.
 const sweepPath = "pvmigrate/internal/sweep"
+
+// netwirePath is the allowlisted wire-transport package: its socket bridge
+// goroutines are the other sanctioned host concurrency (and the one
+// sanctioned wall-clock use besides the kernel — socket deadlines).
+const netwirePath = "pvmigrate/internal/netwire"
 
 func fixture(analyzer, variant string) string {
 	return filepath.Join("testdata", "src", analyzer, variant)
@@ -52,6 +57,10 @@ func TestRawGoroutine(t *testing.T) {
 	// allowlist names the package, not the idiom.
 	linttest.Run(t, lint.NewRawGoroutine(cfg), fixture("rawgoroutine", "sweeprunner"), sweepPath)
 	linttest.Run(t, lint.NewRawGoroutine(cfg), fixture("rawgoroutine", "sweepelsewhere"), simDrivenPath)
+	// Same contract for the netwire socket bridge, the third allowlisted
+	// package: silent under its own path, fully flagged anywhere else.
+	linttest.Run(t, lint.NewRawGoroutine(cfg), fixture("rawgoroutine", "netwirebridge"), netwirePath)
+	linttest.Run(t, lint.NewRawGoroutine(cfg), fixture("rawgoroutine", "netwireelsewhere"), simDrivenPath)
 }
 
 func TestDroppedErr(t *testing.T) {

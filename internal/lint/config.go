@@ -13,15 +13,19 @@ type Config struct {
 
 	// WallClockAllow exempts packages from nowallclock: the sim kernel
 	// itself (it owns virtual time and may consult nothing else, but its
-	// tests time out against the real clock) — cmd/ and examples/ entry
-	// points are outside SimDriven already.
+	// tests time out against the real clock) and internal/netwire (its
+	// socket deadlines bound AwaitExternal against lost bytes; they can
+	// never influence virtual time) — cmd/ and examples/ entry points are
+	// outside SimDriven already.
 	WallClockAllow []string
 
 	// ConcurrencyAllow exempts packages from rawgoroutine: internal/sim
 	// holds the one sanctioned goroutine trampoline (Kernel.Spawn in
-	// proc.go and its channel hand-off in kernel.go), and internal/sweep
-	// the one sanctioned fan-out of *whole independent runs* across host
-	// threads; everything else must use sim.Proc scheduling.
+	// proc.go and its channel hand-off in kernel.go), internal/sweep the
+	// one sanctioned fan-out of *whole independent runs* across host
+	// threads, and internal/netwire the socket bridge goroutines that
+	// drain real sockets while the kernel goroutine blocks inside
+	// AwaitExternal; everything else must use sim.Proc scheduling.
 	ConcurrencyAllow []string
 
 	// EffectCalls maps a callee package path to the function/method names
@@ -56,10 +60,12 @@ func DefaultConfig() *Config {
 		},
 		WallClockAllow: []string{
 			"pvmigrate/internal/sim",
+			"pvmigrate/internal/netwire",
 		},
 		ConcurrencyAllow: []string{
 			"pvmigrate/internal/sim",
 			"pvmigrate/internal/sweep",
+			"pvmigrate/internal/netwire",
 		},
 		EffectCalls: map[string][]string{
 			"pvmigrate/internal/sim": {

@@ -1,0 +1,57 @@
+// Fixture: the netwire socket-bridge idiom — a reader goroutine moving
+// opaque byte blobs into a mutex-guarded map, with channel waiters waking
+// the kernel goroutine blocked inside AwaitExternal. Loaded under the
+// allowlisted pvmigrate/internal/netwire path, rawgoroutine must stay
+// silent; the same shape under any other sim-driven path flags every
+// construct (see ../netwireelsewhere).
+package netwirebridge
+
+import "sync"
+
+type bridge struct {
+	mu      sync.Mutex
+	parked  map[uint64][]byte
+	waiters map[uint64]chan []byte
+}
+
+func (b *bridge) deliver(tok uint64, data []byte) {
+	b.mu.Lock()
+	if ch, ok := b.waiters[tok]; ok {
+		delete(b.waiters, tok)
+		b.mu.Unlock()
+		ch <- data
+		return
+	}
+	b.parked[tok] = data
+	b.mu.Unlock()
+}
+
+func (b *bridge) await(tok uint64, timeout chan struct{}) ([]byte, bool) {
+	b.mu.Lock()
+	if data, ok := b.parked[tok]; ok {
+		delete(b.parked, tok)
+		b.mu.Unlock()
+		return data, true
+	}
+	ch := make(chan []byte, 1)
+	b.waiters[tok] = ch
+	b.mu.Unlock()
+	select {
+	case data := <-ch:
+		return data, true
+	case <-timeout:
+		return nil, false
+	}
+}
+
+func (b *bridge) start(read func() (uint64, []byte, bool)) {
+	go func() {
+		for {
+			tok, data, ok := read()
+			if !ok {
+				return
+			}
+			b.deliver(tok, data)
+		}
+	}()
+}

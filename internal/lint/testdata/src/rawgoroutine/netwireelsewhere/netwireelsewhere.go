@@ -1,0 +1,55 @@
+// Fixture: the exact socket-bridge idiom the netwire backend is allowed to
+// use, loaded under an ordinary sim-driven path. The allowlist names the
+// one package, not the pattern: bridge goroutines, waiter channels and
+// mutex-guarded maps anywhere else still flag.
+package netwireelsewhere
+
+import "sync"
+
+type bridge struct {
+	mu      sync.Mutex // want `sync\.Mutex in sim-scheduled code`
+	parked  map[uint64][]byte
+	waiters map[uint64]chan []byte
+}
+
+func (b *bridge) deliver(tok uint64, data []byte) {
+	b.mu.Lock()
+	if ch, ok := b.waiters[tok]; ok {
+		delete(b.waiters, tok)
+		b.mu.Unlock()
+		ch <- data // want `channel send in sim-scheduled code`
+		return
+	}
+	b.parked[tok] = data
+	b.mu.Unlock()
+}
+
+func (b *bridge) await(tok uint64, timeout chan struct{}) ([]byte, bool) {
+	b.mu.Lock()
+	if data, ok := b.parked[tok]; ok {
+		delete(b.parked, tok)
+		b.mu.Unlock()
+		return data, true
+	}
+	ch := make(chan []byte, 1) // want `make of channel in sim-scheduled code`
+	b.waiters[tok] = ch
+	b.mu.Unlock()
+	select { // want `select statement in sim-scheduled code`
+	case data := <-ch: // want `channel receive in sim-scheduled code`
+		return data, true
+	case <-timeout: // want `channel receive in sim-scheduled code`
+		return nil, false
+	}
+}
+
+func (b *bridge) start(read func() (uint64, []byte, bool)) {
+	go func() { // want `go statement in sim-scheduled code`
+		for {
+			tok, data, ok := read()
+			if !ok {
+				return
+			}
+			b.deliver(tok, data)
+		}
+	}()
+}

@@ -1,0 +1,172 @@
+package mpvm
+
+import (
+	"bytes"
+	"encoding/gob"
+
+	"pvmigrate/internal/core"
+)
+
+// Wire-codec support for the migration protocol: every control payload and
+// the state-stream header cross hosts inside pvm.CtlMsg / netsim Segments,
+// so under the real-socket backend (internal/netwire) they must survive
+// encoding/gob. The protocol types keep their fields unexported by design
+// and marshal through exported mirrors; all of them are registered here so
+// the decoder can reconstruct the `any` payloads. The bare string is
+// registered too: the skeleton acknowledges state transfer with a plain
+// "state-assumed" payload.
+
+func init() {
+	gob.Register(&migrateCmd{})
+	gob.Register(&flushCmd{})
+	gob.Register(&flushAck{})
+	gob.Register(&skeletonReq{})
+	gob.Register(&skeletonReady{})
+	gob.Register(&restartCmd{})
+	gob.Register(&stateHeader{})
+	gob.Register("")
+}
+
+func encodeMirror(m any) ([]byte, error) {
+	var out bytes.Buffer
+	if err := gob.NewEncoder(&out).Encode(m); err != nil {
+		return nil, err
+	}
+	return out.Bytes(), nil
+}
+
+func decodeMirror(data []byte, m any) error {
+	return gob.NewDecoder(bytes.NewReader(data)).Decode(m)
+}
+
+type migrateCmdWire struct {
+	Order core.MigrationOrder
+	Orig  core.TID
+}
+
+func (c *migrateCmd) GobEncode() ([]byte, error) {
+	return encodeMirror(migrateCmdWire{Order: c.order, Orig: c.orig})
+}
+
+func (c *migrateCmd) GobDecode(data []byte) error {
+	var w migrateCmdWire
+	if err := decodeMirror(data, &w); err != nil {
+		return err
+	}
+	*c = migrateCmd{order: w.Order, orig: w.Orig}
+	return nil
+}
+
+type flushCmdWire struct {
+	Orig    core.TID
+	SrcHost int
+}
+
+func (c *flushCmd) GobEncode() ([]byte, error) {
+	return encodeMirror(flushCmdWire{Orig: c.orig, SrcHost: c.srcHost})
+}
+
+func (c *flushCmd) GobDecode(data []byte) error {
+	var w flushCmdWire
+	if err := decodeMirror(data, &w); err != nil {
+		return err
+	}
+	*c = flushCmd{orig: w.Orig, srcHost: w.SrcHost}
+	return nil
+}
+
+type flushAckWire struct {
+	Orig core.TID
+	Host int
+}
+
+func (c *flushAck) GobEncode() ([]byte, error) {
+	return encodeMirror(flushAckWire{Orig: c.orig, Host: c.host})
+}
+
+func (c *flushAck) GobDecode(data []byte) error {
+	var w flushAckWire
+	if err := decodeMirror(data, &w); err != nil {
+		return err
+	}
+	*c = flushAck{orig: w.Orig, host: w.Host}
+	return nil
+}
+
+type skeletonReqWire struct {
+	RPC     int
+	Orig    core.TID
+	Name    string
+	SrcHost int
+	Bytes   int
+}
+
+func (c *skeletonReq) GobEncode() ([]byte, error) {
+	return encodeMirror(skeletonReqWire{
+		RPC: c.rpc, Orig: c.orig, Name: c.name, SrcHost: c.srcHost, Bytes: c.bytes,
+	})
+}
+
+func (c *skeletonReq) GobDecode(data []byte) error {
+	var w skeletonReqWire
+	if err := decodeMirror(data, &w); err != nil {
+		return err
+	}
+	*c = skeletonReq{rpc: w.RPC, orig: w.Orig, name: w.Name, srcHost: w.SrcHost, bytes: w.Bytes}
+	return nil
+}
+
+type skeletonReadyWire struct {
+	RPC  int
+	Port int
+}
+
+func (c *skeletonReady) GobEncode() ([]byte, error) {
+	return encodeMirror(skeletonReadyWire{RPC: c.rpc, Port: c.port})
+}
+
+func (c *skeletonReady) GobDecode(data []byte) error {
+	var w skeletonReadyWire
+	if err := decodeMirror(data, &w); err != nil {
+		return err
+	}
+	*c = skeletonReady{rpc: w.RPC, port: w.Port}
+	return nil
+}
+
+type restartCmdWire struct {
+	Orig   core.TID
+	OldTID core.TID
+	NewTID core.TID
+}
+
+func (c *restartCmd) GobEncode() ([]byte, error) {
+	return encodeMirror(restartCmdWire{Orig: c.orig, OldTID: c.oldTID, NewTID: c.newTID})
+}
+
+func (c *restartCmd) GobDecode(data []byte) error {
+	var w restartCmdWire
+	if err := decodeMirror(data, &w); err != nil {
+		return err
+	}
+	*c = restartCmd{orig: w.Orig, oldTID: w.OldTID, newTID: w.NewTID}
+	return nil
+}
+
+type stateHeaderWire struct {
+	Orig  core.TID
+	Total int
+}
+
+func (c *stateHeader) GobEncode() ([]byte, error) {
+	return encodeMirror(stateHeaderWire{Orig: c.orig, Total: c.total})
+}
+
+func (c *stateHeader) GobDecode(data []byte) error {
+	var w stateHeaderWire
+	if err := decodeMirror(data, &w); err != nil {
+		return err
+	}
+	*c = stateHeader{orig: w.Orig, total: w.Total}
+	return nil
+}

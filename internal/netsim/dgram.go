@@ -1,6 +1,10 @@
 package netsim
 
-import "pvmigrate/internal/sim"
+import (
+	"fmt"
+
+	"pvmigrate/internal/sim"
+)
 
 // Datagram is an unreliable-in-principle (in this model: reliable, ordered
 // per sender) message delivered to a numbered port on a host. The PVM
@@ -36,11 +40,17 @@ func (i *Iface) Host() HostID { return i.host }
 func (i *Iface) Network() *Network { return i.net }
 
 // BindDgram creates (or returns) the datagram queue for a port. Port 0
-// allocates an ephemeral port.
+// allocates an ephemeral port, skipping ports already bound explicitly —
+// an ephemeral bind must never alias an existing socket.
 func (i *Iface) BindDgram(port int) (*sim.Queue[Datagram], int) {
 	if port == 0 {
-		i.nextPort++
-		port = 10000 + i.nextPort
+		for {
+			i.nextPort++
+			port = 10000 + i.nextPort
+			if _, taken := i.dgrams[port]; !taken {
+				break
+			}
+		}
 	}
 	q, ok := i.dgrams[port]
 	if !ok {
@@ -64,6 +74,8 @@ func (i *Iface) SendDgram(srcPort int, dst HostID, dstPort int, bytes int, paylo
 		SentAt: k.Now(),
 	}
 	var arrival sim.Time
+	var tok uint64 // wire token, when a real backend carries the frame
+	var wired bool // true when tok must be redeemed at delivery
 	if dst == i.host {
 		arrival = k.Now() + i.net.params.DgramOverhead + loopbackTime(i.net.params, bytes)
 		if arrival < i.lastLoopback {
@@ -85,8 +97,28 @@ func (i *Iface) SendDgram(srcPort int, dst HostID, dstPort int, bytes int, paylo
 			}
 		}
 		arrival = lastEnd + i.net.params.Latency
+		if w := i.net.wire; w != nil {
+			t, err := w.SendDgram(i.host, srcPort, dst, dstPort, payload)
+			if err != nil {
+				// A payload the codec cannot marshal is a protocol bug,
+				// exactly what the wire backend exists to surface.
+				panic(fmt.Sprintf("netsim: wire send of %T failed: %v", payload, err))
+			}
+			tok, wired = t, true
+		}
 	}
 	k.ScheduleAt(arrival, func() {
+		if wired {
+			// Always redeem the wire token — even for deliveries the model
+			// then drops — so the backend's socket stays drained.
+			var v any
+			var err error
+			k.AwaitExternal(func() { v, err = i.net.wire.RecvDgram(tok) })
+			if err != nil {
+				panic(fmt.Sprintf("netsim: wire datagram %d lost: %v", tok, err))
+			}
+			d.Payload = v
+		}
 		di := i.net.ifaces[dst]
 		if di == nil {
 			return // host never attached: drop

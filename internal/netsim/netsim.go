@@ -45,6 +45,10 @@ type Params struct {
 	// LoopbackBps is the effective memory-copy bandwidth for same-host
 	// delivery, bytes/s.
 	LoopbackBps float64
+	// Wire, when non-nil, carries every cross-host frame over a real
+	// OS-level transport in addition to the timing model (see the Wire
+	// interface in wire.go). nil keeps the fully in-memory backend.
+	Wire Wire
 }
 
 // DefaultParams returns the calibrated 1994 testbed model: 10 Mb/s shared
@@ -99,6 +103,7 @@ type Network struct {
 	k      *sim.Kernel
 	params Params
 	link   *Link
+	wire   Wire // nil = in-memory only
 	ifaces map[HostID]*Iface
 
 	// failure state, driven by the fault-injection layer (failures.go)
@@ -115,6 +120,7 @@ func New(k *sim.Kernel, params Params) *Network {
 		k:      k,
 		params: p,
 		link:   newLink(k, p),
+		wire:   p.Wire,
 		ifaces: make(map[HostID]*Iface),
 	}
 }
@@ -141,6 +147,9 @@ func (n *Network) Attach(h HostID) *Iface {
 		dgrams:    make(map[int]*sim.Queue[Datagram]),
 	}
 	n.ifaces[h] = i
+	if n.wire != nil {
+		n.wire.AttachHost(h)
+	}
 	return i
 }
 

@@ -34,6 +34,10 @@ type Conn struct {
 	peer   *Conn
 	inbox  *sim.Queue[Segment]
 	closed bool
+	// wire, when non-nil, is the paired endpoint of a real TCP connection
+	// (Params.Wire backend); wireSeq numbers this direction's frames.
+	wire    WireConn
+	wireSeq uint64
 	// lastArrival is the latest scheduled delivery into the peer's inbox;
 	// Close defers teardown until then, so in-flight data is not lost
 	// (TCP flushes queued data on close).
@@ -52,6 +56,11 @@ type Listener struct {
 func (i *Iface) Listen(port int) (*Listener, error) {
 	if _, ok := i.listeners[port]; ok {
 		return nil, fmt.Errorf("%w: host %d port %d", ErrPortInUse, i.host, port)
+	}
+	if w := i.net.wire; w != nil {
+		if err := w.Listen(i.host, port); err != nil {
+			return nil, fmt.Errorf("%w: wire: %v", ErrPortInUse, err)
+		}
 	}
 	l := &Listener{
 		iface:   i,
@@ -82,6 +91,9 @@ func (l *Listener) Close() {
 	}
 	l.closed = true
 	delete(l.iface.listeners, l.port)
+	if w := l.iface.net.wire; w != nil {
+		w.CloseListen(l.iface.host, l.port)
+	}
 	l.pending.Close()
 }
 
@@ -102,26 +114,51 @@ func (i *Iface) Dial(p *sim.Proc, dst HostID, port int) (*Conn, error) {
 		return nil, fmt.Errorf("%w: host %d port %d", ErrConnRefused, dst, port)
 	}
 	// Handshake: SYN, SYN-ACK, ACK → three small frames (or loopback), plus
-	// socket setup processing.
-	setup := i.net.params.TCPSetup
+	// socket setup processing. The frames are queued on the shared link, so
+	// the handshake is not done until the *last reserved frame* has left the
+	// wire and propagated — under cross-traffic that completion time, not a
+	// fixed 3·latency, dominates. (Sleeping the fixed amount let a dialer
+	// "complete" before its own SYN frames had transmitted, and leaked the
+	// reserved wire time into utilization even on failed dials — which is
+	// unavoidable for the frames already sent, but the timing must match.)
 	if dst != i.host {
+		var lastEnd sim.Time
 		for f := 0; f < 3; f++ {
-			end := i.net.link.reserve(40)
-			_ = end
+			lastEnd = i.net.link.reserve(40)
 		}
-		setup += 3 * i.net.params.Latency
+		if err := p.SleepUntil(lastEnd + i.net.params.Latency); err != nil {
+			return nil, err
+		}
 	}
-	if err := p.Sleep(setup); err != nil {
+	if err := p.Sleep(i.net.params.TCPSetup); err != nil {
 		return nil, err
 	}
 	if !i.net.Reachable(i.host, dst) {
 		return nil, fmt.Errorf("%w: host %d -> %d", ErrUnreachable, i.host, dst)
 	}
+	if l.closed {
+		// The listener went away while the handshake was in flight: the
+		// final ACK lands on a closed socket.
+		return nil, fmt.Errorf("%w: host %d port %d", ErrConnRefused, dst, port)
+	}
 	k := i.net.k
 	client := &Conn{net: i.net, local: i.host, remote: dst, inbox: sim.NewQueue[Segment](k, 0)}
 	server := &Conn{net: i.net, local: dst, remote: i.host, inbox: sim.NewQueue[Segment](k, 0)}
 	client.peer, server.peer = server, client
+	if w := i.net.wire; w != nil && dst != i.host {
+		var cw, sw WireConn
+		var werr error
+		k.AwaitExternal(func() { cw, sw, werr = w.Dial(i.host, dst, port) })
+		if werr != nil {
+			return nil, fmt.Errorf("%w: wire: %v", ErrConnRefused, werr)
+		}
+		client.wire, server.wire = cw, sw
+	}
 	if !l.pending.TryPut(server) {
+		if client.wire != nil {
+			client.wire.Close()
+			server.wire.Close()
+		}
 		return nil, ErrConnRefused
 	}
 	return client, nil
@@ -178,6 +215,28 @@ func (c *Conn) Send(p *sim.Proc, bytes int, payload any) error {
 		c.lastArrival = arrival
 	}
 	peer := c.peer
+	if c.wire != nil {
+		// The real write happens only once pacing completed, i.e. exactly
+		// when the simulated delivery is committed; the peer's endpoint
+		// redeems the frame by sequence number at delivery time.
+		seq := c.wireSeq
+		c.wireSeq++
+		if err := c.wire.Send(seq, seg.Payload); err != nil {
+			return fmt.Errorf("%w: wire: %v", ErrConnClosed, err)
+		}
+		pw := peer.wire
+		c.net.k.ScheduleAt(arrival, func() {
+			var v any
+			var err error
+			c.net.k.AwaitExternal(func() { v, err = pw.Recv(seq) })
+			if err != nil {
+				return // stream torn down first: the segment dies with it
+			}
+			seg.Payload = v
+			peer.inbox.TryPut(seg) // no-op if the peer already tore down
+		})
+		return nil
+	}
 	c.net.k.ScheduleAt(arrival, func() {
 		peer.inbox.TryPut(seg) // no-op if the peer already tore down
 	})
@@ -198,9 +257,19 @@ func (c *Conn) TryRecv() (Segment, bool) {
 	return c.inbox.TryGet()
 }
 
-// Close tears down this endpoint. Segments already sent still arrive (TCP
-// flushes on close); the peer's blocked Recv returns ErrConnClosed once its
-// inbox drains after the last in-flight segment lands.
+// Close tears down this endpoint. The two directions are intentionally
+// asymmetric:
+//
+//   - Segments already sent *by the closer* still arrive (TCP flushes
+//     queued data on close): the peer's inbox stays open until the last
+//     in-flight segment lands, and only then does the peer's blocked Recv
+//     return ErrConnClosed.
+//   - Segments still in flight *toward the closer* are silently dropped:
+//     the closer's inbox closes immediately, so their delivery callbacks
+//     TryPut into a closed queue and vanish — as with a real close(2),
+//     which discards whatever later lands in the dead socket's buffer.
+//
+// TestConnCloseInFlightAsymmetry pins both halves of this contract.
 func (c *Conn) Close() {
 	if c.closed {
 		return
@@ -212,6 +281,19 @@ func (c *Conn) Close() {
 		return
 	}
 	peer.closed = true // no further sends from the peer either
+	if c.wire != nil {
+		// Tear the real stream down only after the last scheduled delivery
+		// in either direction has had its chance to redeem its frame.
+		drainAt := c.lastArrival
+		if peer.lastArrival > drainAt {
+			drainAt = peer.lastArrival
+		}
+		cw, pw := c.wire, peer.wire
+		c.net.k.ScheduleAt(drainAt, func() {
+			cw.Close()
+			pw.Close()
+		})
+	}
 	if c.lastArrival > c.net.k.Now() {
 		c.net.k.ScheduleAt(c.lastArrival, func() { peer.inbox.Close() })
 	} else {

@@ -1,0 +1,70 @@
+package netsim
+
+// Wire is the pluggable real-transport backend behind Iface. When
+// Params.Wire is non-nil, every cross-host frame additionally rides a real
+// OS-level transport (internal/netwire binds loopback UDP sockets for
+// datagrams and real TCP connections for streams): the payload is
+// marshalled, written to a kernel socket, read back, and unmarshalled, and
+// the *decoded* copy is what the receiver sees. Timing is untouched — the
+// netsim link model still books every frame's wire time and the sim kernel
+// remains the only clock (it pauses via sim.Kernel.AwaitExternal until the
+// wire I/O completes) — so a wire-backed run is virtual-time-identical to
+// an in-memory run while exercising real marshal → syscall → unmarshal on
+// every cross-host payload.
+//
+// Same-host traffic never touches the backend: loopback delivery is a
+// memory copy in both the model and reality, and local control messages
+// legitimately carry non-serializable state (kernel-context reply
+// closures).
+//
+// The contract between netsim and a backend:
+//
+//   - SendDgram is called at virtual send time and returns a token;
+//     RecvDgram(token) is called inside AwaitExternal at virtual delivery
+//     time and blocks until the datagram has crossed the socket. Every
+//     token is eventually redeemed exactly once — even when the simulated
+//     delivery is then dropped (host down, partition, closed port), so the
+//     backend never leaks in-flight frames.
+//   - Listen/CloseListen bracket a simulated TCP listener's lifetime; Dial
+//     returns both endpoints of an established real connection, paired
+//     with the simulated Conn endpoints. WireConn.Send is called after the
+//     sender's pacing completes with a per-direction sequence number;
+//     WireConn.Recv(seq) — on the *peer's* endpoint, inside AwaitExternal —
+//     blocks until that frame arrives. Close (idempotent) tears the real
+//     stream down after the last scheduled delivery.
+//
+// A marshal failure is a bug in a payload type, not a runtime condition:
+// netsim panics on it loudly. Surfacing exactly those bugs is the reason
+// the backend exists.
+type Wire interface {
+	// AttachHost readies the backend for traffic to and from host h
+	// (netwire binds the host's UDP socket here).
+	AttachHost(h HostID)
+	// SendDgram ships one datagram payload and returns the token that
+	// redeems it. The error is a marshal failure (netsim panics on it).
+	SendDgram(src HostID, srcPort int, dst HostID, dstPort int, payload any) (token uint64, err error)
+	// RecvDgram blocks until the datagram identified by token has crossed
+	// the wire and returns the decoded payload. Called inside AwaitExternal.
+	RecvDgram(token uint64) (any, error)
+	// Listen opens the real listener paired with a simulated Listen.
+	Listen(h HostID, port int) error
+	// CloseListen tears down the real listener. Idempotent.
+	CloseListen(h HostID, port int)
+	// Dial establishes a real connection to (dst, port)'s listener and
+	// returns the two paired endpoints.
+	Dial(src, dst HostID, port int) (client, server WireConn, err error)
+}
+
+// WireConn is one endpoint of a real stream paired with a netsim Conn.
+type WireConn interface {
+	// Send marshals payload and writes it as frame seq. The error is a
+	// marshal failure or a torn-down stream.
+	Send(seq uint64, payload any) error
+	// Recv blocks until frame seq (sent by the peer endpoint) has arrived
+	// and returns the decoded payload; it errors when the stream was torn
+	// down first. Called inside AwaitExternal.
+	Recv(seq uint64) (any, error)
+	// Close tears down the real stream. Idempotent; closing either
+	// endpoint closes the underlying connection.
+	Close()
+}

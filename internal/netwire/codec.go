@@ -1,0 +1,59 @@
+package netwire
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+)
+
+// WireCodec marshals the `Payload any` field of simulated frames for the
+// trip through a real socket. Implementations must be stateless per call:
+// each Encode produces a self-contained blob (frames are decoded
+// out of order and independently, so a streaming encoder that amortizes
+// type descriptors across messages would corrupt the second decode).
+type WireCodec interface {
+	Encode(payload any) ([]byte, error)
+	Decode(data []byte) (any, error)
+}
+
+// GobCodec is the default codec: encoding/gob with a fresh encoder per
+// frame, wrapping the payload in a single-field envelope so nil and
+// primitive payloads round-trip like any other. Concrete payload types are
+// registered by their owning packages (pvm, mpvm, ft register their
+// protocol types; core.Buffer implements GobEncoder directly); the basics
+// are registered below so ad-hoc test payloads work out of the box.
+type GobCodec struct{}
+
+type envelope struct {
+	V any
+}
+
+func init() {
+	// Primitive payloads carried bare inside `any` fields.
+	gob.Register("")
+	gob.Register(0)
+	gob.Register(int64(0))
+	gob.Register(0.0)
+	gob.Register(false)
+	gob.Register([]byte(nil))
+	gob.Register([]int(nil))
+	gob.Register([]float64(nil))
+}
+
+// Encode implements WireCodec.
+func (GobCodec) Encode(payload any) ([]byte, error) {
+	var out bytes.Buffer
+	if err := gob.NewEncoder(&out).Encode(&envelope{V: payload}); err != nil {
+		return nil, fmt.Errorf("netwire: encode %T: %w", payload, err)
+	}
+	return out.Bytes(), nil
+}
+
+// Decode implements WireCodec.
+func (GobCodec) Decode(data []byte) (any, error) {
+	var e envelope
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&e); err != nil {
+		return nil, fmt.Errorf("netwire: decode: %w", err)
+	}
+	return e.V, nil
+}

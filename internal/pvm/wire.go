@@ -1,0 +1,127 @@
+package pvm
+
+import (
+	"bytes"
+	"encoding/gob"
+
+	"pvmigrate/internal/core"
+)
+
+// Wire-codec support: when Params.Wire installs a real-socket backend
+// (internal/netwire), every cross-host payload round-trips through
+// encoding/gob. Message and CtlMsg have exported fields (CtlMsg.Reply is a
+// func field, which gob ignores like an unexported field — correct here,
+// because a kernel-context reply closure only ever serves *local* RPCs and
+// is nil on anything that crosses hosts). The daemon RPC types below keep
+// their fields unexported by design, so they marshal through exported
+// mirrors. Every concrete type carried in an `any` payload field is
+// registered so the decoder can reconstruct it.
+
+func init() {
+	gob.Register(&Message{})
+	gob.Register(&CtlMsg{})
+	gob.Register(&spawnReq{})
+	gob.Register(&spawnReply{})
+	gob.Register(&groupReq{})
+	gob.Register(&groupReply{})
+}
+
+// encodeMirror and decodeMirror are the shared GobEncoder/GobDecoder
+// plumbing for the mirror structs below (and for the other protocol
+// packages' mirrors, which follow the same pattern).
+func encodeMirror(m any) ([]byte, error) {
+	var out bytes.Buffer
+	if err := gob.NewEncoder(&out).Encode(m); err != nil {
+		return nil, err
+	}
+	return out.Bytes(), nil
+}
+
+func decodeMirror(data []byte, m any) error {
+	return gob.NewDecoder(bytes.NewReader(data)).Decode(m)
+}
+
+type spawnReqWire struct {
+	RPC       int
+	Name      string
+	ReplyHost int
+}
+
+func (r *spawnReq) GobEncode() ([]byte, error) {
+	return encodeMirror(spawnReqWire{RPC: r.rpc, Name: r.name, ReplyHost: r.replyHost})
+}
+
+func (r *spawnReq) GobDecode(data []byte) error {
+	var w spawnReqWire
+	if err := decodeMirror(data, &w); err != nil {
+		return err
+	}
+	*r = spawnReq{rpc: w.RPC, name: w.Name, replyHost: w.ReplyHost}
+	return nil
+}
+
+type spawnReplyWire struct {
+	RPC int
+	TID core.TID
+	Err string
+}
+
+func (r *spawnReply) GobEncode() ([]byte, error) {
+	return encodeMirror(spawnReplyWire{RPC: r.rpc, TID: r.tid, Err: r.err})
+}
+
+func (r *spawnReply) GobDecode(data []byte) error {
+	var w spawnReplyWire
+	if err := decodeMirror(data, &w); err != nil {
+		return err
+	}
+	*r = spawnReply{rpc: w.RPC, tid: w.TID, err: w.Err}
+	return nil
+}
+
+type groupReqWire struct {
+	ID    int
+	Op    string
+	Group string
+	TID   core.TID
+	Host  int
+	Count int
+}
+
+func (r *groupReq) GobEncode() ([]byte, error) {
+	return encodeMirror(groupReqWire{
+		ID: r.id, Op: r.op, Group: r.group, TID: r.tid, Host: r.host, Count: r.count,
+	})
+}
+
+func (r *groupReq) GobDecode(data []byte) error {
+	var w groupReqWire
+	if err := decodeMirror(data, &w); err != nil {
+		return err
+	}
+	*r = groupReq{id: w.ID, op: w.Op, group: w.Group, tid: w.TID, host: w.Host, count: w.Count}
+	return nil
+}
+
+type groupReplyWire struct {
+	ID      int
+	Inst    int
+	Size    int
+	Members []core.TID
+	Err     string
+}
+
+func (r *groupReply) GobEncode() ([]byte, error) {
+	return encodeMirror(groupReplyWire{
+		ID: r.id, Inst: r.inst, Size: r.size, Members: r.members, Err: r.err,
+	})
+}
+
+func (r *groupReply) GobDecode(data []byte) error {
+	var w groupReplyWire
+	if err := decodeMirror(data, &w); err != nil {
+		return err
+	}
+	*r = groupReply{id: w.ID, inst: w.Inst, size: w.Size, members: w.Members, err: w.Err}
+	return nil
+}

@@ -1,0 +1,56 @@
+package sim
+
+import "testing"
+
+// AwaitExternal must run the wait inline with the clock frozen: virtual
+// time is identical before and after, the wait executes exactly once, and
+// the audit counter advances.
+func TestAwaitExternalFreezesClock(t *testing.T) {
+	k := NewKernel()
+	var ranAt Time
+	ran := 0
+	k.Schedule(5, func() {
+		before := k.Now()
+		k.AwaitExternal(func() {
+			ran++
+			ranAt = k.Now()
+		})
+		if k.Now() != before {
+			t.Errorf("clock moved across AwaitExternal: %v -> %v", before, k.Now())
+		}
+	})
+	k.Run()
+	if ran != 1 {
+		t.Fatalf("wait ran %d times, want 1", ran)
+	}
+	if ranAt != 5 {
+		t.Errorf("wait observed Now()=%v, want 5", ranAt)
+	}
+	if got := k.ExternalWaits(); got != 1 {
+		t.Errorf("ExternalWaits() = %d, want 1", got)
+	}
+}
+
+// The hook works from proc context too, and later events still run at their
+// scheduled virtual times (the pause has no simulated cost).
+func TestAwaitExternalFromProc(t *testing.T) {
+	k := NewKernel()
+	var after Time
+	k.Spawn("p", func(p *Proc) {
+		if err := p.Sleep(10); err != nil {
+			t.Errorf("sleep: %v", err)
+		}
+		k.AwaitExternal(func() {})
+		if err := p.Sleep(10); err != nil {
+			t.Errorf("sleep: %v", err)
+		}
+		after = p.Now()
+	})
+	k.Run()
+	if after != 20 {
+		t.Errorf("proc finished at %v, want 20", after)
+	}
+	if got := k.ExternalWaits(); got != 1 {
+		t.Errorf("ExternalWaits() = %d, want 1", got)
+	}
+}

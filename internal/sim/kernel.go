@@ -90,6 +90,10 @@ type Kernel struct {
 	cells     []cancelCell
 	freeCells []int32
 
+	// externalWaits counts AwaitExternal calls (external.go): real-world
+	// I/O completions the virtual clock paused for.
+	externalWaits uint64
+
 	// tiebreak, when non-nil, assigns each event a pseudo-random priority
 	// that precedes seq in the heap ordering. Equal-time events are then
 	// dispatched in a seed-determined permutation instead of schedule order:
