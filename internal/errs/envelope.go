@@ -1,0 +1,42 @@
+package errs
+
+import "errors"
+
+// Envelope is the JSON error body every non-2xx control-plane response
+// carries: {code, message, context}. encoding/json sorts the context keys,
+// so the same failure always serializes to the same bytes (the serve
+// journal's replay fingerprinting depends on deterministic rendering).
+// Duplicate context keys keep the last attached value.
+type Envelope struct {
+	Code    Code              `json:"code"`
+	Message string            `json:"message"`
+	Context map[string]string `json:"context,omitempty"`
+}
+
+// ToEnvelope flattens any error into its wire envelope. Non-coded errors
+// map to CodeInternal with their Error() string as the message; a coded
+// error contributes its code, its message joined with its cause chain, and
+// its context fields.
+func ToEnvelope(err error) Envelope {
+	env := Envelope{Code: CodeInternal}
+	if err == nil {
+		return env
+	}
+	env.Message = err.Error()
+	var e *Error
+	if !errors.As(err, &e) {
+		return env
+	}
+	env.Code = CodeOf(e)
+	env.Message = e.Message
+	if e.Cause != nil {
+		env.Message += ": " + e.Cause.Error()
+	}
+	if len(e.Context) > 0 {
+		env.Context = make(map[string]string, len(e.Context))
+		for _, f := range e.Context {
+			env.Context[f.Key] = f.Value
+		}
+	}
+	return env
+}

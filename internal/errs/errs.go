@@ -1,0 +1,129 @@
+// Package errs is pvmigrate's structured-error package: every error that
+// can cross a machine boundary — a control-plane HTTP response, a journal
+// entry, a scheduler decision log — carries a stable machine-readable Code
+// alongside its human-readable message, plus optional key/value context.
+//
+// The shape follows the internal-errors discipline of the gear6io/ranger
+// gateway/server/catalog split (SNIPPETS.md): New(code, message, cause),
+// Newf(code, format, args...), AddContext(err, key, value), Unwrap. Codes
+// are dotted lowercase strings namespaced by subsystem ("gs.no-target",
+// "serve.bad-request"); the empty code means "unclassified" and renders as
+// CodeInternal in envelopes so a client always sees a code.
+//
+// Context is an ordered list, not a map: appends preserve insertion order,
+// so rendering (Error strings, JSON envelopes) is deterministic — the same
+// failure always serializes to the same bytes, which the serve journal's
+// replay fingerprinting depends on.
+package errs
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// Code is a stable machine-readable error classification, namespaced by
+// subsystem with dots ("serve.not-found").
+type Code string
+
+// CodeInternal is the envelope code for errors that carry no code of their
+// own: anything created outside this package.
+const CodeInternal Code = "internal"
+
+// Field is one ordered key/value context pair.
+type Field struct {
+	Key   string
+	Value string
+}
+
+// Error is a coded error with ordered context and an optional cause.
+type Error struct {
+	Code    Code
+	Message string
+	Cause   error
+	Context []Field
+}
+
+// New creates a coded error wrapping cause (which may be nil).
+func New(code Code, message string, cause error) *Error {
+	return &Error{Code: code, Message: message, Cause: cause}
+}
+
+// Newf creates a coded error with a formatted message and no cause. Use
+// %w-free formats; attach causes with New.
+func Newf(code Code, format string, args ...any) *Error {
+	return &Error{Code: code, Message: fmt.Sprintf(format, args...)}
+}
+
+// Error renders "code: message: cause [k=v k=v]".
+func (e *Error) Error() string {
+	var b strings.Builder
+	if e.Code != "" {
+		b.WriteString(string(e.Code))
+		b.WriteString(": ")
+	}
+	b.WriteString(e.Message)
+	if e.Cause != nil {
+		b.WriteString(": ")
+		b.WriteString(e.Cause.Error())
+	}
+	if len(e.Context) > 0 {
+		b.WriteString(" [")
+		for i, f := range e.Context {
+			if i > 0 {
+				b.WriteString(" ")
+			}
+			fmt.Fprintf(&b, "%s=%s", f.Key, f.Value)
+		}
+		b.WriteString("]")
+	}
+	return b.String()
+}
+
+// Unwrap exposes the cause to errors.Is / errors.As.
+func (e *Error) Unwrap() error { return e.Cause }
+
+// AddContext appends one key/value pair and returns the same error, for
+// chaining. Values are rendered with %v at attach time so later mutation of
+// the value cannot change the error.
+func (e *Error) AddContext(key string, value any) *Error {
+	e.Context = append(e.Context, Field{Key: key, Value: fmt.Sprintf("%v", value)})
+	return e
+}
+
+// AddContext attaches context to any error: a *Error gains a field in
+// place; anything else is wrapped into a CodeInternal *Error first. A nil
+// err stays nil.
+func AddContext(err error, key string, value any) error {
+	if err == nil {
+		return nil
+	}
+	var e *Error
+	if !errors.As(err, &e) {
+		e = New(CodeInternal, err.Error(), err)
+	}
+	return e.AddContext(key, value)
+}
+
+// CodeOf returns the code of the outermost *Error in err's chain, or
+// CodeInternal when there is none (including nil err — callers should
+// check for nil first; the fallback keeps envelopes total).
+func CodeOf(err error) Code {
+	var e *Error
+	if errors.As(err, &e) && e.Code != "" {
+		return e.Code
+	}
+	return CodeInternal
+}
+
+// Is reports whether err (or anything in its chain) is a *Error carrying
+// code.
+func Is(err error, code Code) bool {
+	for err != nil {
+		if e, ok := err.(*Error); ok && e.Code == code {
+			return true
+		}
+		err = errors.Unwrap(err)
+	}
+	return false
+}

@@ -1,0 +1,105 @@
+package errs_test
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"testing"
+
+	"pvmigrate/internal/errs"
+)
+
+func TestNewCarriesCodeMessageCause(t *testing.T) {
+	cause := errors.New("socket closed")
+	e := errs.New("serve.wire", "send failed", cause)
+	if got := e.Error(); got != "serve.wire: send failed: socket closed" {
+		t.Fatalf("Error() = %q", got)
+	}
+	if !errors.Is(e, cause) {
+		t.Fatal("errors.Is should see the cause through Unwrap")
+	}
+	if errs.CodeOf(e) != "serve.wire" {
+		t.Fatalf("CodeOf = %q", errs.CodeOf(e))
+	}
+}
+
+func TestNewfFormats(t *testing.T) {
+	e := errs.Newf("gs.no-target", "no movable VP on host %d", 3)
+	if e.Error() != "gs.no-target: no movable VP on host 3" {
+		t.Fatalf("Error() = %q", e.Error())
+	}
+	if e.Unwrap() != nil {
+		t.Fatal("Newf errors carry no cause")
+	}
+}
+
+func TestAddContextOrdersAndChains(t *testing.T) {
+	e := errs.Newf("serve.bad-request", "bad job").
+		AddContext("kind", "opt").
+		AddContext("slaves", 0)
+	want := "serve.bad-request: bad job [kind=opt slaves=0]"
+	if e.Error() != want {
+		t.Fatalf("Error() = %q, want %q", e.Error(), want)
+	}
+}
+
+func TestAddContextWrapsPlainErrors(t *testing.T) {
+	plain := errors.New("boom")
+	err := errs.AddContext(plain, "host", 2)
+	if errs.CodeOf(err) != errs.CodeInternal {
+		t.Fatalf("CodeOf = %q", errs.CodeOf(err))
+	}
+	if !errors.Is(err, plain) {
+		t.Fatal("wrapped error must keep the original in its chain")
+	}
+	if errs.AddContext(nil, "k", "v") != nil {
+		t.Fatal("AddContext(nil) must stay nil")
+	}
+}
+
+func TestCodeOfFallsBackToInternal(t *testing.T) {
+	if errs.CodeOf(errors.New("plain")) != errs.CodeInternal {
+		t.Fatal("plain errors classify as internal")
+	}
+	// A wrapped coded error is still found through the chain.
+	inner := errs.Newf("serve.not-found", "no such job")
+	outer := fmt.Errorf("handling request: %w", inner)
+	if errs.CodeOf(outer) != "serve.not-found" {
+		t.Fatalf("CodeOf(wrapped) = %q", errs.CodeOf(outer))
+	}
+	if !errs.Is(outer, "serve.not-found") {
+		t.Fatal("Is should find the code through the chain")
+	}
+}
+
+func TestEnvelopeJSONIsDeterministic(t *testing.T) {
+	e := errs.Newf("serve.conflict", "job already running").
+		AddContext("job", 1).
+		AddContext("kind", "opt")
+	b1, err := json.Marshal(errs.ToEnvelope(e))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := json.Marshal(errs.ToEnvelope(e))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b1) != string(b2) {
+		t.Fatalf("envelope encoding not deterministic: %s vs %s", b1, b2)
+	}
+	want := `{"code":"serve.conflict","message":"job already running","context":{"job":"1","kind":"opt"}}`
+	if string(b1) != want {
+		t.Fatalf("envelope = %s, want %s", b1, want)
+	}
+}
+
+func TestEnvelopeOfPlainAndNil(t *testing.T) {
+	env := errs.ToEnvelope(errors.New("boom"))
+	if env.Code != errs.CodeInternal || env.Message != "boom" {
+		t.Fatalf("plain envelope = %+v", env)
+	}
+	env = errs.ToEnvelope(nil)
+	if env.Code != errs.CodeInternal || env.Message != "" {
+		t.Fatalf("nil envelope = %+v", env)
+	}
+}

@@ -1,10 +1,9 @@
 package gs
 
 import (
-	"fmt"
-
 	"pvmigrate/internal/adm"
 	"pvmigrate/internal/core"
+	"pvmigrate/internal/errs"
 	"pvmigrate/internal/pvm"
 )
 
@@ -52,7 +51,8 @@ func (t *ADMTarget) EvacuateHost(host int, reason core.MigrationReason) (int, er
 		signalled++
 	}
 	if signalled == 0 {
-		return 0, fmt.Errorf("gs: no ADM slave on host %d", host)
+		return 0, errs.Newf(CodeNoMovable, "no ADM slave on host %d", host).
+			AddContext("reason", reason)
 	}
 	return signalled, nil
 }
@@ -69,5 +69,6 @@ func (t *ADMTarget) MoveOne(from, to int, reason core.MigrationReason) error {
 		adm.Signal(task, adm.Event{Kind: "rebalance", Reason: reason})
 		return nil
 	}
-	return fmt.Errorf("gs: no ADM slave on host %d", from)
+	return errs.Newf(CodeNoMovable, "no ADM slave on host %d", from).
+		AddContext("to", to).AddContext("reason", reason)
 }

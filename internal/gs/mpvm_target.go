@@ -1,9 +1,8 @@
 package gs
 
 import (
-	"fmt"
-
 	"pvmigrate/internal/core"
+	"pvmigrate/internal/errs"
 	"pvmigrate/internal/mpvm"
 )
 
@@ -49,7 +48,8 @@ func (t *MPVMTarget) EvacuateHost(host int, reason core.MigrationReason) (int, e
 		dest := t.bestDest(mt, host)
 		if dest < 0 {
 			if firstErr == nil {
-				firstErr = fmt.Errorf("gs: no compatible destination for %v", orig)
+				firstErr = errs.Newf(CodeNoDestination, "no compatible destination for %v", orig).
+					AddContext("from", host).AddContext("reason", reason)
 			}
 			continue
 		}
@@ -73,7 +73,8 @@ func (t *MPVMTarget) MoveOne(from, to int, reason core.MigrationReason) error {
 		}
 		return t.sys.Migrate(orig, to, reason)
 	}
-	return fmt.Errorf("gs: no movable VP on host %d", from)
+	return errs.Newf(CodeNoMovable, "no movable VP on host %d", from).
+		AddContext("to", to).AddContext("reason", reason)
 }
 
 // bestDest picks the compatible, alive, owner-free host with the lowest

@@ -1,9 +1,8 @@
 package gs
 
 import (
-	"fmt"
-
 	"pvmigrate/internal/core"
+	"pvmigrate/internal/errs"
 	"pvmigrate/internal/upvm"
 )
 
@@ -47,7 +46,8 @@ func (t *UPVMTarget) EvacuateHost(host int, reason core.MigrationReason) (int, e
 		dest := t.bestDest(u, host)
 		if dest < 0 {
 			if firstErr == nil {
-				firstErr = fmt.Errorf("gs: no compatible destination for ULP %d", id)
+				firstErr = errs.Newf(CodeNoDestination, "no compatible destination for ULP %d", id).
+					AddContext("from", host).AddContext("reason", reason)
 			}
 			continue
 		}
@@ -71,7 +71,8 @@ func (t *UPVMTarget) MoveOne(from, to int, reason core.MigrationReason) error {
 		}
 		return t.sys.Migrate(id, to, reason)
 	}
-	return fmt.Errorf("gs: no movable ULP on host %d", from)
+	return errs.Newf(CodeNoMovable, "no movable ULP on host %d", from).
+		AddContext("to", to).AddContext("reason", reason)
 }
 
 func (t *UPVMTarget) bestDest(u *upvm.ULP, exclude int) int {

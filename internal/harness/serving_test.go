@@ -1,0 +1,87 @@
+package harness
+
+import (
+	"testing"
+	"time"
+
+	"pvmigrate/internal/core"
+)
+
+func servingScenario(seed uint64) ServeScenario {
+	return ServeScenario{
+		Hosts: 3,
+		Load: LoadSpec{
+			Workers: 2,
+			Arrivals: ArrivalSpec{
+				Rate:    20,
+				Horizon: 5 * time.Second,
+				Seed:    seed,
+			},
+		},
+	}
+}
+
+func TestRunServingCompletesSchedule(t *testing.T) {
+	out := RunServing(servingScenario(1))
+	if out.Err != nil {
+		t.Fatalf("serving run failed: %v", out.Err)
+	}
+	if !out.Done {
+		t.Fatal("schedule not fully served")
+	}
+	if out.Completed == 0 || out.Latency.N() != out.Completed {
+		t.Fatalf("completed %d, latency observations %d", out.Completed, out.Latency.N())
+	}
+	if out.Report.N != out.Completed {
+		t.Fatalf("report over %d observations, want %d", out.Report.N, out.Completed)
+	}
+	if out.Report.P50 <= 0 {
+		t.Fatalf("p50 latency %v must be positive", out.Report.P50)
+	}
+}
+
+func TestRunServingIsDeterministic(t *testing.T) {
+	a := RunServing(servingScenario(5))
+	b := RunServing(servingScenario(5))
+	if a.Err != nil || b.Err != nil {
+		t.Fatalf("runs failed: %v / %v", a.Err, b.Err)
+	}
+	if a.Elapsed != b.Elapsed || a.Completed != b.Completed {
+		t.Fatalf("reruns diverged: %v/%d vs %v/%d",
+			a.Elapsed, a.Completed, b.Elapsed, b.Completed)
+	}
+	av, bv := a.Latency.Values(), b.Latency.Values()
+	for i := range av {
+		if av[i] != bv[i] {
+			t.Fatalf("latency %d diverged: %v vs %v", i, av[i], bv[i])
+		}
+	}
+}
+
+// TestRunServingOwnerReclaim runs the paper's defining event under serving
+// load: the owner of a worker host returns mid-run, the GS evacuates the
+// workers, and the schedule still completes.
+func TestRunServingOwnerReclaim(t *testing.T) {
+	sc := servingScenario(2)
+	sc.OwnerHost = 1
+	sc.OwnerAt = 2 * time.Second
+	out := RunServing(sc)
+	if out.Err != nil {
+		t.Fatalf("serving run failed: %v", out.Err)
+	}
+	if !out.Done {
+		t.Fatal("schedule not fully served after reclaim")
+	}
+	if len(out.Decisions) == 0 {
+		t.Fatal("owner reclaim produced no GS decision")
+	}
+	found := false
+	for _, r := range out.Records {
+		if r.From == 1 && r.Reason == core.ReasonOwnerReclaim {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no owner-reclaim migration off host 1 in %d records", len(out.Records))
+	}
+}

@@ -26,6 +26,11 @@ const sweepPath = "pvmigrate/internal/sweep"
 // sanctioned wall-clock use besides the kernel — socket deadlines).
 const netwirePath = "pvmigrate/internal/netwire"
 
+// servePath is the allowlisted daemon package: its HTTP handlers, SSE hub
+// and pacer live on the wall side of the AwaitExternal bridge, so both
+// rawgoroutine and nowallclock stand down for this one path.
+const servePath = "pvmigrate/internal/serve"
+
 func fixture(analyzer, variant string) string {
 	return filepath.Join("testdata", "src", analyzer, variant)
 }
@@ -34,6 +39,10 @@ func TestNoWallClock(t *testing.T) {
 	cfg := lint.DefaultConfig()
 	linttest.Run(t, lint.NewNoWallClock(cfg), fixture("nowallclock", "flagged"), simDrivenPath)
 	linttest.Run(t, lint.NewNoWallClock(cfg), fixture("nowallclock", "allowed"), kernelPath)
+	// The daemon pacer's tickers and timestamps are silent under the serve
+	// path and fully flagged under any other sim-driven path.
+	linttest.Run(t, lint.NewNoWallClock(cfg), fixture("nowallclock", "servepacer"), servePath)
+	linttest.Run(t, lint.NewNoWallClock(cfg), fixture("nowallclock", "servepacerelsewhere"), simDrivenPath)
 }
 
 func TestSeededRand(t *testing.T) {
@@ -61,6 +70,10 @@ func TestRawGoroutine(t *testing.T) {
 	// package: silent under its own path, fully flagged anywhere else.
 	linttest.Run(t, lint.NewRawGoroutine(cfg), fixture("rawgoroutine", "netwirebridge"), netwirePath)
 	linttest.Run(t, lint.NewRawGoroutine(cfg), fixture("rawgoroutine", "netwireelsewhere"), simDrivenPath)
+	// And for the serve daemon's HTTP/SSE side, the fourth: its mutexes,
+	// hub channels and pacer goroutine pass only under its own path.
+	linttest.Run(t, lint.NewRawGoroutine(cfg), fixture("rawgoroutine", "serveloop"), servePath)
+	linttest.Run(t, lint.NewRawGoroutine(cfg), fixture("rawgoroutine", "serveelsewhere"), simDrivenPath)
 }
 
 func TestDroppedErr(t *testing.T) {

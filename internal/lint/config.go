@@ -13,19 +13,26 @@ type Config struct {
 
 	// WallClockAllow exempts packages from nowallclock: the sim kernel
 	// itself (it owns virtual time and may consult nothing else, but its
-	// tests time out against the real clock) and internal/netwire (its
+	// tests time out against the real clock), internal/netwire (its
 	// socket deadlines bound AwaitExternal against lost bytes; they can
-	// never influence virtual time) — cmd/ and examples/ entry points are
-	// outside SimDriven already.
+	// never influence virtual time) and internal/serve (the daemon's
+	// pacer ticks on the wall clock, but each tick only enters the kernel
+	// as a journaled advance command, so replay never consults real
+	// time) — cmd/ and examples/ entry points are outside SimDriven
+	// already.
 	WallClockAllow []string
 
 	// ConcurrencyAllow exempts packages from rawgoroutine: internal/sim
 	// holds the one sanctioned goroutine trampoline (Kernel.Spawn in
 	// proc.go and its channel hand-off in kernel.go), internal/sweep the
 	// one sanctioned fan-out of *whole independent runs* across host
-	// threads, and internal/netwire the socket bridge goroutines that
-	// drain real sockets while the kernel goroutine blocks inside
-	// AwaitExternal; everything else must use sim.Proc scheduling.
+	// threads, internal/netwire the socket bridge goroutines that drain
+	// real sockets while the kernel goroutine blocks inside
+	// AwaitExternal, and internal/serve the HTTP side of the daemon
+	// (handler goroutines, the SSE hub and the pacer live on the wall
+	// side of the AwaitExternal bridge; a single mutex serialises their
+	// entry into the kernel); everything else must use sim.Proc
+	// scheduling.
 	ConcurrencyAllow []string
 
 	// EffectCalls maps a callee package path to the function/method names
@@ -61,11 +68,13 @@ func DefaultConfig() *Config {
 		WallClockAllow: []string{
 			"pvmigrate/internal/sim",
 			"pvmigrate/internal/netwire",
+			"pvmigrate/internal/serve",
 		},
 		ConcurrencyAllow: []string{
 			"pvmigrate/internal/sim",
 			"pvmigrate/internal/sweep",
 			"pvmigrate/internal/netwire",
+			"pvmigrate/internal/serve",
 		},
 		EffectCalls: map[string][]string{
 			"pvmigrate/internal/sim": {

@@ -1,0 +1,21 @@
+// Fixture: the daemon pacer's wall-clock reads — tickers pacing virtual
+// advances and timestamps labelling journal lines. Loaded under the
+// allowlisted pvmigrate/internal/serve path (real time never reaches the
+// kernel except as a journaled advance command), nowallclock must stay
+// silent; the same reads under any other sim-driven path flag (see
+// ../servepacerelsewhere).
+package servepacer
+
+import "time"
+
+func paceTicker(period time.Duration) *time.Ticker {
+	return time.NewTicker(period)
+}
+
+func journalStamp() time.Time {
+	return time.Now()
+}
+
+func shutdownGrace() {
+	time.Sleep(10 * time.Millisecond)
+}

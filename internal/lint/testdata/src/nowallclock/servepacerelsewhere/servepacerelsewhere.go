@@ -1,0 +1,18 @@
+// Fixture: the pacer's wall-clock reads loaded under an ordinary
+// sim-driven path. The allowlist names the serve package, not the idiom:
+// tickers and timestamps anywhere else still flag.
+package servepacerelsewhere
+
+import "time"
+
+func paceTicker(period time.Duration) *time.Ticker {
+	return time.NewTicker(period) // want `time\.NewTicker reads the wall clock`
+}
+
+func journalStamp() time.Time {
+	return time.Now() // want `time\.Now reads the wall clock`
+}
+
+func shutdownGrace() {
+	time.Sleep(10 * time.Millisecond) // want `time\.Sleep reads the wall clock`
+}

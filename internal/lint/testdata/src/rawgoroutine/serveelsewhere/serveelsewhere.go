@@ -1,0 +1,56 @@
+// Fixture: the exact daemon-hub idiom the serve package is allowed to
+// use, loaded under an ordinary sim-driven path. The allowlist names the
+// one package, not the pattern: handler mutexes, subscriber channels and
+// pacer goroutines anywhere else still flag.
+package serveelsewhere
+
+import "sync"
+
+type hub struct {
+	mu   sync.Mutex // want `sync\.Mutex in sim-scheduled code`
+	subs []chan int
+}
+
+func (h *hub) subscribe() chan int {
+	ch := make(chan int, 16) // want `make of channel in sim-scheduled code`
+	h.mu.Lock()
+	h.subs = append(h.subs, ch)
+	h.mu.Unlock()
+	return ch
+}
+
+func (h *hub) publish(snapshot int) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for _, ch := range h.subs {
+		select { // want `select statement in sim-scheduled code`
+		case ch <- snapshot: // want `channel send in sim-scheduled code`
+		default:
+		}
+	}
+}
+
+func (h *hub) stream(done chan struct{}, emit func(int)) {
+	ch := h.subscribe()
+	for {
+		select { // want `select statement in sim-scheduled code`
+		case v := <-ch: // want `channel receive in sim-scheduled code`
+			emit(v)
+		case <-done: // want `channel receive in sim-scheduled code`
+			return
+		}
+	}
+}
+
+func (h *hub) pace(done chan struct{}, tick func()) {
+	go func() { // want `go statement in sim-scheduled code`
+		for {
+			select { // want `select statement in sim-scheduled code`
+			case <-done: // want `channel receive in sim-scheduled code`
+				return
+			default:
+				tick()
+			}
+		}
+	}()
+}

@@ -1,0 +1,59 @@
+// Fixture: the serve-daemon idiom — HTTP handler goroutines serialised by
+// a mutex, an SSE hub fanning snapshots out over subscriber channels, and
+// a select-driven stream loop. All of it lives on the wall side of the
+// AwaitExternal bridge. Loaded under the allowlisted
+// pvmigrate/internal/serve path, rawgoroutine must stay silent; the same
+// shape under any other sim-driven path flags every construct (see
+// ../serveelsewhere).
+package serveloop
+
+import "sync"
+
+type hub struct {
+	mu   sync.Mutex
+	subs []chan int
+}
+
+func (h *hub) subscribe() chan int {
+	ch := make(chan int, 16)
+	h.mu.Lock()
+	h.subs = append(h.subs, ch)
+	h.mu.Unlock()
+	return ch
+}
+
+func (h *hub) publish(snapshot int) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for _, ch := range h.subs {
+		select {
+		case ch <- snapshot:
+		default:
+		}
+	}
+}
+
+func (h *hub) stream(done chan struct{}, emit func(int)) {
+	ch := h.subscribe()
+	for {
+		select {
+		case v := <-ch:
+			emit(v)
+		case <-done:
+			return
+		}
+	}
+}
+
+func (h *hub) pace(done chan struct{}, tick func()) {
+	go func() {
+		for {
+			select {
+			case <-done:
+				return
+			default:
+				tick()
+			}
+		}
+	}()
+}

@@ -92,6 +92,35 @@ func (s *Series) Min() float64 {
 	return m
 }
 
+// Values returns a copy of the observations in insertion order.
+func (s *Series) Values() []float64 {
+	return append([]float64(nil), s.values...)
+}
+
+// Summary condenses a series into the fixed quantile set the serving
+// reports and the control plane's metrics snapshots use. Percentiles come
+// from Percentile, so a summary is reproducible from the raw series.
+type Summary struct {
+	N    int     `json:"n"`
+	Mean float64 `json:"mean"`
+	P50  float64 `json:"p50"`
+	P95  float64 `json:"p95"`
+	P99  float64 `json:"p99"`
+	Max  float64 `json:"max"`
+}
+
+// Summary computes the series' summary.
+func (s *Series) Summary() Summary {
+	return Summary{
+		N:    s.N(),
+		Mean: s.Mean(),
+		P50:  s.Percentile(50),
+		P95:  s.Percentile(95),
+		P99:  s.Percentile(99),
+		Max:  s.Max(),
+	}
+}
+
 // Max returns the largest observation.
 func (s *Series) Max() float64 {
 	if len(s.values) == 0 {

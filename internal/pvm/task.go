@@ -62,8 +62,20 @@ func newTask(d *Daemon, local int, name string, body func(*Task)) *Task {
 	t.inboxCond = sim.NewCond(d.m.k)
 	t.openListener()
 	t.proc = d.m.k.Spawn(fmt.Sprintf("%s(%s)", name, t.tid), func(p *sim.Proc) {
-		// fork + exec + enroll
-		p.Sleep(d.m.cfg.SpawnCost)
+		// fork + exec + enroll. The startup sleep runs with interrupts
+		// enabled, so a migration signal can land this early (a GS decision
+		// racing the spawn): route it through the signal handler like every
+		// other blocking call, or the victim would silently swallow it and
+		// hold its flush-blocked senders forever. Anything the handler does
+		// not absorb (a kill) aborts the exec before the body runs.
+		if err := p.Sleep(d.m.cfg.SpawnCost); err != nil {
+			if t.handleSignal(err) != nil {
+				if !t.exited {
+					t.Exit()
+				}
+				return
+			}
+		}
 		body(t)
 		if !t.exited {
 			t.Exit()

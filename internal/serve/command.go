@@ -1,0 +1,213 @@
+package serve
+
+import (
+	"sort"
+	"time"
+
+	"pvmigrate/internal/core"
+	"pvmigrate/internal/errs"
+	"pvmigrate/internal/ft"
+	"pvmigrate/internal/netsim"
+	"pvmigrate/internal/sim"
+)
+
+// CommandKind names a control-plane mutation.
+type CommandKind string
+
+const (
+	// CmdAdvance runs the event loop Advance virtual time forward.
+	CmdAdvance CommandKind = "advance"
+	// CmdSubmit starts the job described by Job.
+	CmdSubmit CommandKind = "submit"
+	// CmdMigrate commands one manual migration.
+	CmdMigrate CommandKind = "migrate"
+	// CmdFault injects one fault at the current instant.
+	CmdFault CommandKind = "fault"
+	// CmdOwner flips a host's owner-active state.
+	CmdOwner CommandKind = "owner"
+	// CmdRollback forces the FT manager to roll the opt job back to its
+	// last committed checkpoint.
+	CmdRollback CommandKind = "rollback"
+)
+
+// MigrateArgs names one manual migration.
+type MigrateArgs struct {
+	// Orig is the task's stable (original) tid.
+	Orig core.TID `json:"orig"`
+	// To is the destination host.
+	To int `json:"to"`
+}
+
+// FaultArgs is the wire form of one ft.Fault, injected "now".
+type FaultArgs struct {
+	// Kind is the ft.FaultKind string: host-crash, host-revive,
+	// link-partition, link-heal, link-loss.
+	Kind string `json:"kind"`
+	// Host applies to host-crash / host-revive.
+	Host int `json:"host,omitempty"`
+	// OutageMs, for host-crash, revives the host that much later.
+	OutageMs int64 `json:"outage_ms,omitempty"`
+	// Groups, for link-partition, maps host id to isolation group.
+	Groups map[int]int `json:"groups,omitempty"`
+	// LossRate and LossSeed apply to link-loss.
+	LossRate float64 `json:"loss_rate,omitempty"`
+	LossSeed uint64  `json:"loss_seed,omitempty"`
+}
+
+// OwnerArgs flips a host's owner-active state.
+type OwnerArgs struct {
+	Host   int  `json:"host"`
+	Active bool `json:"active"`
+}
+
+// Command is one journaled control-plane mutation. Seq and At are stamped
+// by the live daemon; replay verifies At against its own clock, so a
+// journal that drifted (hand-edited, mixed sessions) refuses to replay
+// rather than silently diverging.
+type Command struct {
+	Seq  int         `json:"seq"`
+	At   sim.Time    `json:"at"`
+	Kind CommandKind `json:"kind"`
+
+	Advance sim.Time     `json:"advance,omitempty"`
+	Job     *JobSpec     `json:"job,omitempty"`
+	Migrate *MigrateArgs `json:"migrate,omitempty"`
+	Fault   *FaultArgs   `json:"fault,omitempty"`
+	Owner   *OwnerArgs   `json:"owner,omitempty"`
+}
+
+// Apply executes one command against the live cluster. Every executed
+// command — including one whose action fails, since the failure is itself
+// deterministic — lands in the history and counts toward the fingerprint.
+// The returned error is the action's error; a CodeReplay error means the
+// command did not execute at all (clock mismatch).
+func (c *Core) Apply(cmd Command) error {
+	if cmd.At != c.k.Now() {
+		return errs.Newf(CodeReplay, "command %d stamped at %v but clock is %v",
+			cmd.Seq, cmd.At, c.k.Now()).AddContext("kind", string(cmd.Kind))
+	}
+	var err error
+	switch cmd.Kind {
+	case CmdAdvance:
+		err = c.applyAdvance(cmd.Advance)
+	case CmdSubmit:
+		err = c.applySubmit(cmd.Job)
+	case CmdMigrate:
+		err = c.applyMigrate(cmd.Migrate)
+	case CmdFault:
+		err = c.applyFault(cmd.Fault)
+	case CmdOwner:
+		err = c.applyOwner(cmd.Owner)
+	case CmdRollback:
+		err = c.inKernel(c.mgr.ForceRollback)
+	default:
+		err = errs.Newf(CodeBadRequest, "unknown command kind %q", cmd.Kind)
+	}
+	c.history = append(c.history, cmd)
+	c.applied++
+	if err != nil {
+		c.failed++
+	}
+	return err
+}
+
+// inKernel runs fn inside a kernel event at the current instant and pumps
+// the event loop until the instant is drained, so fn and everything it
+// triggers synchronously (interrupts, sends) observe kernel context.
+func (c *Core) inKernel(fn func() error) error {
+	var err error
+	c.k.ScheduleAt(c.k.Now(), func() { err = fn() })
+	c.k.RunUntil(c.k.Now())
+	return err
+}
+
+func (c *Core) applyAdvance(d sim.Time) error {
+	if d <= 0 {
+		return errs.Newf(CodeBadRequest, "advance must be positive, got %v", d)
+	}
+	c.k.RunUntil(c.k.Now() + d)
+	return nil
+}
+
+func (c *Core) applySubmit(spec *JobSpec) error {
+	if spec == nil {
+		return errs.New(CodeBadRequest, "submit command carries no job spec", nil)
+	}
+	_, err := c.submit(*spec)
+	// The spawns scheduled kernel events at the current instant; drain
+	// them so the tasks exist before the next command or query.
+	c.k.RunUntil(c.k.Now())
+	return err
+}
+
+func (c *Core) applyMigrate(args *MigrateArgs) error {
+	if args == nil {
+		return errs.New(CodeBadRequest, "migrate command carries no args", nil)
+	}
+	if err := c.checkHost(args.To); err != nil {
+		return err
+	}
+	if c.sys.Task(args.Orig) == nil {
+		return errs.Newf(CodeNotFound, "no task with orig tid %d", args.Orig)
+	}
+	return c.inKernel(func() error {
+		if err := c.sys.Migrate(args.Orig, args.To, core.ReasonManual); err != nil {
+			return errs.New(CodeConflict, "migration rejected", err).
+				AddContext("orig", int(args.Orig)).AddContext("to", args.To)
+		}
+		return nil
+	})
+}
+
+func (c *Core) applyFault(args *FaultArgs) error {
+	if args == nil {
+		return errs.New(CodeBadRequest, "fault command carries no args", nil)
+	}
+	f := ft.Fault{
+		At:       c.k.Now(),
+		Kind:     ft.FaultKind(args.Kind),
+		Host:     args.Host,
+		Outage:   time.Duration(args.OutageMs) * time.Millisecond,
+		LossRate: args.LossRate,
+		LossSeed: args.LossSeed,
+	}
+	switch f.Kind {
+	case ft.HostCrash, ft.HostRevive:
+		if err := c.checkHost(f.Host); err != nil {
+			return err
+		}
+	case ft.LinkPartition:
+		f.Groups = make(map[netsim.HostID]int, len(args.Groups))
+		hosts := make([]int, 0, len(args.Groups))
+		for h := range args.Groups {
+			hosts = append(hosts, h)
+		}
+		sort.Ints(hosts)
+		for _, h := range hosts {
+			if err := c.checkHost(h); err != nil {
+				return err
+			}
+			f.Groups[netsim.HostID(h)] = args.Groups[h]
+		}
+	case ft.LinkHeal, ft.LinkLoss:
+	default:
+		return errs.Newf(CodeBadRequest, "unknown fault kind %q", args.Kind).
+			AddContext("kinds", "host-crash,host-revive,link-partition,link-heal,link-loss")
+	}
+	c.inj.Install(ft.Plan{Faults: []ft.Fault{f}})
+	c.k.RunUntil(c.k.Now())
+	return nil
+}
+
+func (c *Core) applyOwner(args *OwnerArgs) error {
+	if args == nil {
+		return errs.New(CodeBadRequest, "owner command carries no args", nil)
+	}
+	if err := c.checkHost(args.Host); err != nil {
+		return err
+	}
+	return c.inKernel(func() error {
+		c.cl.Host(netsim.HostID(args.Host)).SetOwnerActive(args.Active)
+		return nil
+	})
+}

@@ -1,0 +1,62 @@
+package serve
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+)
+
+// Fingerprint condenses everything schedule-visible about a session into
+// one FNV-1a 64 value: the clock, the command counts, every trace event,
+// every migration and recovery record, the checkpoint commit history, and
+// each job's outcome. A live session and its headless journal replay must
+// produce equal fingerprints — that equality is the determinism contract
+// the journal tests pin. Kernel.ExternalWaits is deliberately excluded:
+// the live daemon crosses the bridge once per journal append, the replay
+// never does, and neither crossing moves the virtual schedule.
+func (c *Core) Fingerprint() uint64 {
+	h := fnv.New64a()
+	put := func(format string, args ...any) {
+		fmt.Fprintf(h, format, args...)
+		h.Write([]byte{0})
+	}
+	put("now=%d applied=%d failed=%d", int64(c.k.Now()), c.applied, c.failed)
+	for _, e := range c.log.Events() {
+		put("ev %d %s %s %s", int64(e.At), e.Actor, e.Stage, e.Detail)
+	}
+	for _, r := range c.sys.Records() {
+		put("mig %+v", r)
+	}
+	for _, r := range c.mgr.Records() {
+		put("rec %+v", r)
+	}
+	put("ckpt=%d committed=%d", c.mgr.Checkpoints(), c.mgr.CommittedIteration())
+	for _, cm := range c.mgr.Store().Commits() {
+		put("commit %s@%d", cm.Key, cm.Epoch)
+	}
+	for _, j := range c.jobs {
+		put("job %d %s at=%d", j.ID, j.Kind, int64(j.SubmittedAt))
+		switch j.Kind {
+		case JobOpt:
+			out := j.Opt.Out()
+			put("opt done=%t err=%t fin=%d", out.Done, out.Err != nil, int64(out.FinishedAt))
+			if out.Result != nil {
+				put("opt iter=%d loss=%d", out.Result.Iterations,
+					math.Float64bits(out.Result.FinalLoss))
+			}
+		case JobLoad:
+			lj := j.Load
+			put("load done=%t err=%t completed=%d violations=%d fin=%d",
+				lj.Done, lj.Err != nil, lj.Completed, lj.Violations, int64(lj.FinishedAt))
+			for _, v := range lj.Latency.Values() {
+				put("lat %d", math.Float64bits(v))
+			}
+		}
+	}
+	return h.Sum64()
+}
+
+// FingerprintHex is the fingerprint formatted for the API and the CLI.
+func (c *Core) FingerprintHex() string {
+	return fmt.Sprintf("%016x", c.Fingerprint())
+}

@@ -1,0 +1,32 @@
+package serve
+
+import (
+	"io"
+
+	"pvmigrate/internal/errs"
+)
+
+// Replay re-executes a command log headlessly against a fresh cluster and
+// returns the resulting Core for inspection (fingerprint, trace, jobs).
+// Command-level failures are re-executed faithfully and ignored — the live
+// session journaled them too, and their errors are deterministic — but a
+// CodeReplay error (clock mismatch) means the log does not describe this
+// cluster and aborts.
+func Replay(cfg Config, cmds []Command) (*Core, error) {
+	c := NewCore(cfg, nil)
+	for _, cmd := range cmds {
+		if err := c.Apply(cmd); err != nil && errs.Is(err, CodeReplay) {
+			return c, err
+		}
+	}
+	return c, nil
+}
+
+// ReplayJournal parses a journal stream and replays it.
+func ReplayJournal(r io.Reader) (*Core, error) {
+	data, err := ReadJournal(r)
+	if err != nil {
+		return nil, err
+	}
+	return Replay(data.Config, data.Commands)
+}

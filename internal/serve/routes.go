@@ -1,0 +1,272 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"time"
+
+	"pvmigrate/internal/core"
+	"pvmigrate/internal/errs"
+)
+
+// routes wires the control plane. Mutations are POSTs through mutate (and
+// therefore the journal); queries are GETs through view.
+func (s *Server) routes() {
+	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.view(func(c *Core) any { return c.JobViews() }))
+	})
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	s.mux.HandleFunc("GET /v1/hosts", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.view(func(c *Core) any { return c.Hosts() }))
+	})
+	s.mux.HandleFunc("GET /v1/tasks", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.view(func(c *Core) any { return c.Tasks() }))
+	})
+	s.mux.HandleFunc("POST /v1/migrations", s.handleMigrate)
+	s.mux.HandleFunc("GET /v1/migrations", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.view(func(c *Core) any { return migrationViews(c) }))
+	})
+	s.mux.HandleFunc("POST /v1/faults", s.handleFault)
+	s.mux.HandleFunc("POST /v1/owner", s.handleOwner)
+	s.mux.HandleFunc("POST /v1/rollback", s.handleRollback)
+	s.mux.HandleFunc("POST /v1/advance", s.handleAdvance)
+	s.mux.HandleFunc("GET /v1/metrics", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.view(func(c *Core) any { return c.Metrics() }))
+	})
+	s.mux.HandleFunc("GET /v1/metrics/stream", func(w http.ResponseWriter, r *http.Request) {
+		serveStream(w, r, s.hub, s.done, s.frame(), func(ev StreamEvent) any { return ev })
+	})
+	s.mux.HandleFunc("GET /v1/trace", s.handleTrace)
+	s.mux.HandleFunc("GET /v1/trace/stream", func(w http.ResponseWriter, r *http.Request) {
+		serveStream(w, r, s.hub, s.done, s.frame(), func(ev StreamEvent) any {
+			if len(ev.Trace) == 0 {
+				return nil
+			}
+			return ev.Trace
+		})
+	})
+	s.mux.HandleFunc("GET /v1/journal", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.view(func(c *Core) any {
+			return map[string]any{"config": c.Config(), "commands": c.History()}
+		}))
+	})
+	s.mux.HandleFunc("GET /v1/fingerprint", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.view(func(c *Core) any {
+			return map[string]any{
+				"fingerprint": c.FingerprintHex(),
+				"virtual_ms":  ms(c.Now()),
+				"commands":    c.applied,
+			}
+		}))
+	})
+	s.mux.HandleFunc("POST /v1/shutdown", func(w http.ResponseWriter, r *http.Request) {
+		s.mu.Lock()
+		s.shuttingDown = true
+		s.mu.Unlock()
+		writeJSON(w, http.StatusOK, map[string]any{"ok": true})
+		s.closeOnce.Do(func() { close(s.done) })
+	})
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec JobSpec
+	if !decode(w, r, &spec) {
+		return
+	}
+	res, err := s.mutate(CmdSubmit, func(cmd *Command) error {
+		cmd.Job = &spec
+		return nil
+	}, func(c *Core) any {
+		return c.jobView(c.jobs[len(c.jobs)-1])
+	})
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, res)
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, errs.New(CodeBadRequest, "job id must be an integer", err))
+		return
+	}
+	res := s.view(func(c *Core) any {
+		j := c.Job(id)
+		if j == nil {
+			return nil
+		}
+		v := c.jobView(j)
+		return &v
+	})
+	if res.(*JobView) == nil {
+		writeErr(w, errs.Newf(CodeNotFound, "no job %d", id))
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+func (s *Server) handleMigrate(w http.ResponseWriter, r *http.Request) {
+	var args MigrateArgs
+	if !decode(w, r, &args) {
+		return
+	}
+	res, err := s.mutate(CmdMigrate, func(cmd *Command) error {
+		cmd.Migrate = &args
+		return nil
+	}, func(c *Core) any {
+		return map[string]any{"ok": true, "metrics": c.Metrics()}
+	})
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+func (s *Server) handleFault(w http.ResponseWriter, r *http.Request) {
+	var args FaultArgs
+	if !decode(w, r, &args) {
+		return
+	}
+	res, err := s.mutate(CmdFault, func(cmd *Command) error {
+		cmd.Fault = &args
+		return nil
+	}, func(c *Core) any {
+		return map[string]any{"ok": true, "metrics": c.Metrics()}
+	})
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+func (s *Server) handleOwner(w http.ResponseWriter, r *http.Request) {
+	var args OwnerArgs
+	if !decode(w, r, &args) {
+		return
+	}
+	res, err := s.mutate(CmdOwner, func(cmd *Command) error {
+		cmd.Owner = &args
+		return nil
+	}, func(c *Core) any {
+		return map[string]any{"ok": true, "metrics": c.Metrics()}
+	})
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+func (s *Server) handleRollback(w http.ResponseWriter, r *http.Request) {
+	res, err := s.mutate(CmdRollback, nil, func(c *Core) any {
+		return map[string]any{"ok": true, "epoch": c.mgr.Epoch()}
+	})
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+func (s *Server) handleAdvance(w http.ResponseWriter, r *http.Request) {
+	var body struct {
+		Ms int64 `json:"ms"`
+	}
+	if !decode(w, r, &body) {
+		return
+	}
+	res, err := s.mutate(CmdAdvance, func(cmd *Command) error {
+		cmd.Advance = time.Duration(body.Ms) * time.Millisecond
+		return nil
+	}, func(c *Core) any {
+		return c.Metrics()
+	})
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	since := 0
+	if q := r.URL.Query().Get("since"); q != "" {
+		n, err := strconv.Atoi(q)
+		if err != nil || n < 0 {
+			writeErr(w, errs.New(CodeBadRequest, "since must be a non-negative integer", err))
+			return
+		}
+		since = n
+	}
+	writeJSON(w, http.StatusOK, s.view(func(c *Core) any {
+		return map[string]any{
+			"events": traceViews(c.Trace(since)),
+			"next":   c.TraceLen(),
+		}
+	}))
+}
+
+// MigrationView is the wire form of one migration record.
+type MigrationView struct {
+	VP             int                  `json:"vp"`
+	NewTID         int                  `json:"new_tid"`
+	From           int                  `json:"from"`
+	To             int                  `json:"to"`
+	Reason         core.MigrationReason `json:"reason"`
+	StartMs        int64                `json:"start_ms"`
+	OffSourceMs    int64                `json:"off_source_ms"`
+	ReintegratedMs int64                `json:"reintegrated_ms"`
+	StateBytes     int                  `json:"state_bytes"`
+}
+
+func migrationViews(c *Core) []MigrationView {
+	recs := c.sys.Records()
+	out := make([]MigrationView, 0, len(recs))
+	for _, r := range recs {
+		out = append(out, MigrationView{
+			VP: int(r.VP), NewTID: int(r.NewTID), From: r.From, To: r.To,
+			Reason: r.Reason, StartMs: ms(r.Start), OffSourceMs: ms(r.OffSource),
+			ReintegratedMs: ms(r.Reintegrated), StateBytes: r.StateBytes,
+		})
+	}
+	return out
+}
+
+// decode parses a JSON request body; on failure it writes the error
+// envelope and reports false.
+func decode(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		writeErr(w, errs.New(CodeBadRequest, "malformed JSON body", err))
+		return false
+	}
+	return true
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	// Marshal before touching the ResponseWriter: an unencodable view (a
+	// NaN that slipped into a float field, say) must surface as a 500
+	// envelope, not a 200 with an empty body.
+	b, err := json.Marshal(v)
+	if err != nil {
+		b, _ = json.Marshal(errs.ToEnvelope(
+			errs.New(CodeInternal, "response failed to encode", err)))
+		status = http.StatusInternalServerError
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_, _ = w.Write(append(b, '\n'))
+}
+
+// writeErr renders the structured error envelope with the status its code
+// maps to.
+func writeErr(w http.ResponseWriter, err error) {
+	writeJSON(w, httpStatus(errs.CodeOf(err)), errs.ToEnvelope(err))
+}

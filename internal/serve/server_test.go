@@ -1,0 +1,370 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"pvmigrate/internal/errs"
+)
+
+// --- HTTP helpers -----------------------------------------------------------
+
+func postJSON(t *testing.T, url, body string, out any) *http.Response {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("POST %s: read response: %v", url, err)
+	}
+	if out != nil {
+		if err := json.Unmarshal(raw, out); err != nil {
+			t.Fatalf("POST %s: status %d, decode %q: %v", url, resp.StatusCode, raw, err)
+		}
+	}
+	return resp
+}
+
+func getJSON(t *testing.T, url string, out any) *http.Response {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: read response: %v", url, err)
+	}
+	if out != nil {
+		if err := json.Unmarshal(raw, out); err != nil {
+			t.Fatalf("GET %s: status %d, decode %q: %v", url, resp.StatusCode, raw, err)
+		}
+	}
+	return resp
+}
+
+// streamCollector consumes one SSE connection and accumulates frames.
+type streamCollector struct {
+	mu     sync.Mutex
+	frames []StreamEvent
+	done   chan struct{}
+}
+
+// collectStream opens /v1/metrics/stream and parses every `data:` line
+// until the server closes the connection (daemon shutdown).
+func collectStream(t *testing.T, base string) *streamCollector {
+	t.Helper()
+	sc := &streamCollector{done: make(chan struct{})}
+	resp, err := http.Get(base + "/v1/metrics/stream")
+	if err != nil {
+		t.Fatalf("open stream: %v", err)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("stream content type = %q, want text/event-stream", ct)
+	}
+	go func() {
+		defer close(sc.done)
+		defer resp.Body.Close()
+		scan := bufio.NewScanner(resp.Body)
+		scan.Buffer(make([]byte, 64*1024), 8*1024*1024)
+		for scan.Scan() {
+			line := scan.Text()
+			if !strings.HasPrefix(line, "data: ") {
+				continue
+			}
+			var ev StreamEvent
+			if json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &ev) != nil {
+				continue
+			}
+			sc.mu.Lock()
+			sc.frames = append(sc.frames, ev)
+			sc.mu.Unlock()
+		}
+	}()
+	return sc
+}
+
+// snapshot copies the frames received so far.
+func (sc *streamCollector) snapshot() []StreamEvent {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	return append([]StreamEvent(nil), sc.frames...)
+}
+
+// --- The acceptance flow ----------------------------------------------------
+
+// TestServerEndToEnd is the PR's acceptance test: start the daemon, submit
+// a 3-host job over HTTP, command a migration via the API, crash a host
+// through the fault endpoint, watch the recovery arrive in the streamed
+// metrics, and finally replay the journal headlessly to the same
+// fingerprint the live session reported.
+func TestServerEndToEnd(t *testing.T) {
+	var journal bytes.Buffer
+	srv, err := NewServer(Options{Config: Config{Hosts: 3}, Journal: &journal})
+	if err != nil {
+		t.Fatalf("NewServer: %v", err)
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	defer srv.Close()
+	base := ts.URL
+
+	// The cluster is up before any command: three hosts, all alive.
+	var hosts []HostView
+	getJSON(t, base+"/v1/hosts", &hosts)
+	if len(hosts) != 3 {
+		t.Fatalf("got %d hosts, want 3", len(hosts))
+	}
+	for _, h := range hosts {
+		if !h.Alive {
+			t.Fatalf("host %d not alive at boot", h.ID)
+		}
+	}
+
+	// Subscribe to the metrics stream before mutating anything.
+	sc := collectStream(t, base)
+
+	// Submit the 3-host opt job (master on h0, slaves on h1 and h2).
+	var job JobView
+	resp := postJSON(t, base+"/v1/jobs", `{"kind":"opt","iterations":30}`, &job)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("submit status = %d, want 201", resp.StatusCode)
+	}
+	if job.ID != 1 || job.Kind != JobOpt {
+		t.Fatalf("submit returned %+v", job)
+	}
+
+	// Let it run, then find a live slave task on host 1 to migrate.
+	postJSON(t, base+"/v1/advance", `{"ms":3000}`, nil)
+	var tasks []TaskView
+	getJSON(t, base+"/v1/tasks", &tasks)
+	victim := -1
+	for _, tk := range tasks {
+		if tk.Host == 1 && !tk.Exited {
+			victim = tk.Orig
+			break
+		}
+	}
+	if victim < 0 {
+		t.Fatalf("no live task on host 1 to migrate: %+v", tasks)
+	}
+
+	// Command the migration over the API and let it complete.
+	resp = postJSON(t, base+"/v1/migrations",
+		fmt.Sprintf(`{"orig":%d,"to":2}`, victim), nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("migrate status = %d, want 200", resp.StatusCode)
+	}
+	postJSON(t, base+"/v1/advance", `{"ms":2000}`, nil)
+	var migs []MigrationView
+	getJSON(t, base+"/v1/migrations", &migs)
+	found := false
+	for _, m := range migs {
+		if m.VP == victim && m.From == 1 && m.To == 2 && m.ReintegratedMs > 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("commanded migration not in records: %+v", migs)
+	}
+
+	// Crash host 2 — where the migrated slave now runs — through the
+	// fault endpoint; it revives 8 virtual seconds later, and the job
+	// must recover and finish.
+	resp = postJSON(t, base+"/v1/faults",
+		`{"kind":"host-crash","host":2,"outage_ms":8000}`, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("fault status = %d, want 200", resp.StatusCode)
+	}
+	postJSON(t, base+"/v1/advance", `{"ms":600000}`, nil)
+
+	var jobAfter JobView
+	getJSON(t, base+"/v1/jobs/1", &jobAfter)
+	if !jobAfter.Done || jobAfter.Err != "" {
+		t.Fatalf("job did not finish cleanly after crash: %+v", jobAfter)
+	}
+	var m MetricsSnapshot
+	getJSON(t, base+"/v1/metrics", &m)
+	if m.Recoveries == 0 {
+		t.Fatal("crash produced no recovery")
+	}
+	if m.HostsAlive != 3 {
+		t.Fatalf("hosts alive = %d after revive, want 3", m.HostsAlive)
+	}
+
+	// The recovery must also have been observable on the stream: some
+	// frame published after the final advance carries it.
+	deadline := time.Now().Add(5 * time.Second)
+	streamed := false
+	for time.Now().Before(deadline) && !streamed {
+		for _, ev := range sc.snapshot() {
+			if ev.Metrics.Recoveries > 0 && ev.Metrics.Migrations > 0 {
+				streamed = true
+				break
+			}
+		}
+		if !streamed {
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+	if !streamed {
+		t.Fatalf("no streamed frame carried the recovery; got %d frames",
+			len(sc.snapshot()))
+	}
+
+	// Error envelopes: malformed JSON is a 400 that never reaches the
+	// journal; a well-formed command that fails is journaled and a 404.
+	var env errs.Envelope
+	resp = postJSON(t, base+"/v1/jobs", `{"kind":`, &env)
+	if resp.StatusCode != http.StatusBadRequest || env.Code != CodeBadRequest {
+		t.Fatalf("malformed body: status %d envelope %+v", resp.StatusCode, env)
+	}
+	env = errs.Envelope{}
+	resp = postJSON(t, base+"/v1/migrations", `{"orig":999999,"to":1}`, &env)
+	if resp.StatusCode != http.StatusNotFound || env.Code != CodeNotFound {
+		t.Fatalf("missing task: status %d envelope %+v", resp.StatusCode, env)
+	}
+
+	// The live fingerprint, captured after the last mutation.
+	var fp struct {
+		Fingerprint string `json:"fingerprint"`
+		Commands    int    `json:"commands"`
+	}
+	getJSON(t, base+"/v1/fingerprint", &fp)
+	if fp.Fingerprint == "" || fp.Commands == 0 {
+		t.Fatalf("fingerprint response %+v", fp)
+	}
+
+	// Clean shutdown over the API.
+	resp = postJSON(t, base+"/v1/shutdown", `{}`, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("shutdown status = %d, want 200", resp.StatusCode)
+	}
+	select {
+	case <-srv.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("Done() did not close after POST /v1/shutdown")
+	}
+	select {
+	case <-sc.done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("stream did not close after shutdown")
+	}
+	srv.Close()
+
+	// Commands after shutdown are refused with 503.
+	env = errs.Envelope{}
+	resp = postJSON(t, base+"/v1/advance", `{"ms":100}`, &env)
+	if resp.StatusCode != http.StatusServiceUnavailable || env.Code != CodeShutdown {
+		t.Fatalf("post-shutdown command: status %d envelope %+v", resp.StatusCode, env)
+	}
+
+	// Headless replay of the journal reproduces the live session bit for
+	// bit — including the journaled not-found failure.
+	replayed, err := ReplayJournal(bytes.NewReader(journal.Bytes()))
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	if got := replayed.FingerprintHex(); got != fp.Fingerprint {
+		t.Fatalf("replay fingerprint %s diverged from live %s", got, fp.Fingerprint)
+	}
+	if replayed.failed == 0 {
+		t.Fatal("replay did not reproduce the journaled failed command")
+	}
+}
+
+// TestServerPacerAdvancesVirtualTime runs the daemon with the wall-clock
+// pacer on: virtual time flows without any client command, and every tick
+// lands in the journal so the paced session still replays.
+func TestServerPacerAdvancesVirtualTime(t *testing.T) {
+	var journal bytes.Buffer
+	srv, err := NewServer(Options{
+		Config:      Config{Hosts: 2},
+		Journal:     &journal,
+		TickWall:    2 * time.Millisecond,
+		TickVirtual: 50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("NewServer: %v", err)
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	base := ts.URL
+
+	deadline := time.Now().Add(5 * time.Second)
+	var m MetricsSnapshot
+	for time.Now().Before(deadline) {
+		getJSON(t, base+"/v1/metrics", &m)
+		if m.VirtualMs >= 200 {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if m.VirtualMs < 200 {
+		t.Fatalf("pacer advanced virtual time to only %d ms", m.VirtualMs)
+	}
+
+	srv.Close() // stops the pacer before we read the journal
+	ts.Close()
+
+	replayed, err := ReplayJournal(bytes.NewReader(journal.Bytes()))
+	if err != nil {
+		t.Fatalf("replay of paced session: %v", err)
+	}
+	if replayed.Now() == 0 {
+		t.Fatal("replayed paced session did not advance virtual time")
+	}
+}
+
+// TestServerTraceStream checks the trace SSE endpoint delivers the events
+// a submission produces, and that /v1/trace pagination agrees.
+func TestServerTraceStream(t *testing.T) {
+	srv, err := NewServer(Options{Config: Config{Hosts: 3}})
+	if err != nil {
+		t.Fatalf("NewServer: %v", err)
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	defer srv.Close()
+	base := ts.URL
+
+	postJSON(t, base+"/v1/jobs", `{"kind":"opt","iterations":10}`, nil)
+	postJSON(t, base+"/v1/advance", `{"ms":60000}`, nil)
+
+	var page struct {
+		Events []TraceEventView `json:"events"`
+		Next   int              `json:"next"`
+	}
+	getJSON(t, base+"/v1/trace", &page)
+	if len(page.Events) == 0 || page.Next != len(page.Events) {
+		t.Fatalf("trace page: %d events, next %d", len(page.Events), page.Next)
+	}
+	// Paging from the cursor returns nothing new.
+	var rest struct {
+		Events []TraceEventView `json:"events"`
+		Next   int              `json:"next"`
+	}
+	getJSON(t, fmt.Sprintf("%s/v1/trace?since=%d", base, page.Next), &rest)
+	if len(rest.Events) != 0 || rest.Next != page.Next {
+		t.Fatalf("trace page past end: %d events, next %d", len(rest.Events), rest.Next)
+	}
+	// And the bad cursor is a structured 400.
+	var env errs.Envelope
+	resp := getJSON(t, base+"/v1/trace?since=-1", &env)
+	if resp.StatusCode != http.StatusBadRequest || env.Code != CodeBadRequest {
+		t.Fatalf("bad cursor: status %d envelope %+v", resp.StatusCode, env)
+	}
+}

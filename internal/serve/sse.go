@@ -1,0 +1,128 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"sync"
+
+	"pvmigrate/internal/trace"
+)
+
+// TraceEventView is the wire form of one trace event.
+type TraceEventView struct {
+	AtMs   int64  `json:"at_ms"`
+	Actor  string `json:"actor"`
+	Stage  string `json:"stage"`
+	Detail string `json:"detail"`
+}
+
+func traceViews(events []trace.Event) []TraceEventView {
+	out := make([]TraceEventView, 0, len(events))
+	for _, e := range events {
+		out = append(out, TraceEventView{
+			AtMs: ms(e.At), Actor: e.Actor, Stage: e.Stage, Detail: e.Detail,
+		})
+	}
+	return out
+}
+
+// StreamEvent is one frame on the metrics/trace streams: the telemetry
+// snapshot after a command or pacer tick, plus the trace events that
+// command produced.
+type StreamEvent struct {
+	Metrics MetricsSnapshot  `json:"metrics"`
+	Trace   []TraceEventView `json:"trace,omitempty"`
+}
+
+// hub fans StreamEvents out to SSE subscribers. Subscribers live in a
+// slice, not a map: iteration order stays deterministic and pvmlint's
+// maporder rule holds even here. Publishing never blocks — a subscriber
+// that falls more than subBuffer frames behind loses frames, not the
+// daemon.
+type hub struct {
+	mu   sync.Mutex
+	subs []chan StreamEvent
+}
+
+const subBuffer = 16
+
+func (h *hub) subscribe() chan StreamEvent {
+	ch := make(chan StreamEvent, subBuffer)
+	h.mu.Lock()
+	h.subs = append(h.subs, ch)
+	h.mu.Unlock()
+	return ch
+}
+
+func (h *hub) unsubscribe(ch chan StreamEvent) {
+	h.mu.Lock()
+	for i, s := range h.subs {
+		if s == ch {
+			h.subs = append(h.subs[:i], h.subs[i+1:]...)
+			break
+		}
+	}
+	h.mu.Unlock()
+}
+
+func (h *hub) publish(ev StreamEvent) {
+	h.mu.Lock()
+	for _, ch := range h.subs {
+		select {
+		case ch <- ev:
+		default: // slow subscriber: drop the frame for it
+		}
+	}
+	h.mu.Unlock()
+}
+
+// serveStream runs one SSE connection: an immediate frame so the client
+// sees state right away, then every published frame until the client or
+// the daemon goes away. transform picks what the endpoint emits (the
+// metrics stream sends whole frames, the trace stream only trace deltas);
+// returning nil skips the frame.
+func serveStream(w http.ResponseWriter, r *http.Request, h *hub,
+	done <-chan struct{}, first StreamEvent, transform func(StreamEvent) any) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+
+	ch := h.subscribe()
+	defer h.unsubscribe(ch)
+
+	write := func(v any) bool {
+		b, err := json.Marshal(v)
+		if err != nil {
+			return false
+		}
+		if _, err := w.Write(append(append([]byte("data: "), b...), '\n', '\n')); err != nil {
+			return false
+		}
+		fl.Flush()
+		return true
+	}
+	if v := transform(first); v != nil {
+		if !write(v) {
+			return
+		}
+	}
+	for {
+		select {
+		case ev := <-ch:
+			if v := transform(ev); v != nil {
+				if !write(v) {
+					return
+				}
+			}
+		case <-r.Context().Done():
+			return
+		case <-done:
+			return
+		}
+	}
+}

@@ -35,6 +35,19 @@ func (l *Log) Events() []Event { return l.events }
 // Len returns the event count.
 func (l *Log) Len() int { return len(l.events) }
 
+// Since returns the events recorded at index n and later — the delta a
+// streaming consumer that has already seen the first n events needs. An n
+// beyond the log returns nil.
+func (l *Log) Since(n int) []Event {
+	if n < 0 {
+		n = 0
+	}
+	if n >= len(l.events) {
+		return nil
+	}
+	return l.events[n:]
+}
+
 // Stages returns the distinct stage labels in first-occurrence order.
 func (l *Log) Stages() []string {
 	seen := map[string]bool{}
