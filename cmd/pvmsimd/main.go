@@ -29,7 +29,7 @@ func main() {
 	seed := flag.Uint64("seed", 0, "kernel tie-break seed (0 = schedule order)")
 	ckptEvery := flag.Int("checkpoint-every", 2, "coordinated-checkpoint period for opt jobs")
 	loadThresh := flag.Int("load-threshold", 0, "GS load-chasing threshold (0 = off)")
-	journal := flag.String("journal", "", "append the write-ahead command journal to this file")
+	journal := flag.String("journal", "", "write the write-ahead command journal to this file (must not already exist)")
 	tickWall := flag.Duration("tick-wall", 0, "pacer: wall-clock period between automatic advances (0 = client-driven time)")
 	tickVirtual := flag.Duration("tick-virtual", 100*time.Millisecond, "pacer: virtual time per tick")
 	wire := flag.Bool("wire", false, "carry cross-host payloads over real loopback sockets (internal/netwire)")
@@ -51,9 +51,18 @@ func main() {
 		TickVirtual: *tickVirtual,
 	}
 	if *journal != "" {
-		f, err := os.OpenFile(*journal, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		// O_EXCL: a journal names exactly one session. Appending to a prior
+		// session's file would write a second header mid-stream and render
+		// the whole file unreplayable, so refuse instead.
+		f, err := os.OpenFile(*journal, os.O_CREATE|os.O_WRONLY|os.O_EXCL, 0o644)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "pvmsimd: open journal: %v\n", err)
+			if os.IsExist(err) {
+				fmt.Fprintf(os.Stderr,
+					"pvmsimd: journal %s already exists; refusing to overwrite a prior session (replay it with -replay, or choose a new path)\n",
+					*journal)
+			} else {
+				fmt.Fprintf(os.Stderr, "pvmsimd: open journal: %v\n", err)
+			}
 			os.Exit(1)
 		}
 		defer f.Close()

@@ -18,17 +18,26 @@ type journalHeader struct {
 	Config  Config `json:"config"`
 }
 
+// syncer is the optional fsync surface of a journal sink (*os.File has it).
+type syncer interface{ Sync() error }
+
 // JournalWriter appends commands to a journal stream, one JSON line each.
 // The daemon writes ahead: a command is journaled before it executes, so a
 // crash can lose an execution but never a record — replaying the journal
-// always reaches at least the state the daemon last externalized.
+// always reaches at least the state the daemon last externalized. When the
+// sink can fsync (implements Sync() error, as *os.File does) every line is
+// synced before Append returns, so the guarantee holds across host crashes
+// and SIGKILL; for a plain buffered sink it holds only for clean process
+// exit.
 type JournalWriter struct {
 	w io.Writer
+	s syncer // non-nil when w can fsync
 }
 
 // NewJournalWriter writes the header line and returns the writer.
 func NewJournalWriter(w io.Writer, cfg Config) (*JournalWriter, error) {
 	jw := &JournalWriter{w: w}
+	jw.s, _ = w.(syncer)
 	if err := jw.writeLine(journalHeader{Version: journalVersion, Config: cfg.withDefaults()}); err != nil {
 		return nil, err
 	}
@@ -47,6 +56,11 @@ func (jw *JournalWriter) writeLine(v any) error {
 	}
 	if _, err := jw.w.Write(append(b, '\n')); err != nil {
 		return errs.New(CodeJournal, "append journal line", err)
+	}
+	if jw.s != nil {
+		if err := jw.s.Sync(); err != nil {
+			return errs.New(CodeJournal, "sync journal line", err)
+		}
 	}
 	return nil
 }

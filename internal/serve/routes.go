@@ -36,11 +36,11 @@ func (s *Server) routes() {
 		writeJSON(w, http.StatusOK, s.view(func(c *Core) any { return c.Metrics() }))
 	})
 	s.mux.HandleFunc("GET /v1/metrics/stream", func(w http.ResponseWriter, r *http.Request) {
-		serveStream(w, r, s.hub, s.done, s.frame(), func(ev StreamEvent) any { return ev })
+		s.serveStream(w, r, func(ev StreamEvent) any { return ev })
 	})
 	s.mux.HandleFunc("GET /v1/trace", s.handleTrace)
 	s.mux.HandleFunc("GET /v1/trace/stream", func(w http.ResponseWriter, r *http.Request) {
-		serveStream(w, r, s.hub, s.done, s.frame(), func(ev StreamEvent) any {
+		s.serveStream(w, r, func(ev StreamEvent) any {
 			if len(ev.Trace) == 0 {
 				return nil
 			}
@@ -102,11 +102,12 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 		v := c.jobView(j)
 		return &v
 	})
-	if res.(*JobView) == nil {
+	jv, ok := res.(*JobView)
+	if !ok || jv == nil {
 		writeErr(w, errs.Newf(CodeNotFound, "no job %d", id))
 		return
 	}
-	writeJSON(w, http.StatusOK, res)
+	writeJSON(w, http.StatusOK, jv)
 }
 
 func (s *Server) handleMigrate(w http.ResponseWriter, r *http.Request) {

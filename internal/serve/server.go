@@ -170,12 +170,15 @@ func (s *Server) publishLocked() {
 	s.hub.publish(ev)
 }
 
-// frame snapshots the current stream frame (no trace delta) for a fresh
-// SSE subscriber.
-func (s *Server) frame() StreamEvent {
+// subscribeFrame subscribes to the hub and snapshots the first stream
+// frame (no trace delta) in one critical section. publishLocked also runs
+// under mu, so no published frame can fall between the snapshot and the
+// subscription — a fresh subscriber sees every trace delta after its
+// snapshot exactly once.
+func (s *Server) subscribeFrame() (chan StreamEvent, StreamEvent) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return StreamEvent{Metrics: s.core.Metrics()}
+	return s.hub.subscribe(), StreamEvent{Metrics: s.core.Metrics()}
 }
 
 // httpStatus maps structured error codes onto HTTP statuses. Codes from

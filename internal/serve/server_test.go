@@ -286,6 +286,30 @@ func TestServerEndToEnd(t *testing.T) {
 	}
 }
 
+// TestServerJobNotFound covers the not-found and bad-id paths of
+// GET /v1/jobs/{id}: both must come back as structured error envelopes,
+// not a panicking handler and a dropped connection.
+func TestServerJobNotFound(t *testing.T) {
+	srv, err := NewServer(Options{Config: Config{Hosts: 2}})
+	if err != nil {
+		t.Fatalf("NewServer: %v", err)
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	defer srv.Close()
+
+	var env errs.Envelope
+	resp := getJSON(t, ts.URL+"/v1/jobs/999", &env)
+	if resp.StatusCode != http.StatusNotFound || env.Code != CodeNotFound {
+		t.Fatalf("missing job: status %d envelope %+v", resp.StatusCode, env)
+	}
+	env = errs.Envelope{}
+	resp = getJSON(t, ts.URL+"/v1/jobs/xyz", &env)
+	if resp.StatusCode != http.StatusBadRequest || env.Code != CodeBadRequest {
+		t.Fatalf("non-integer id: status %d envelope %+v", resp.StatusCode, env)
+	}
+}
+
 // TestServerPacerAdvancesVirtualTime runs the daemon with the wall-clock
 // pacer on: virtual time flows without any client command, and every tick
 // lands in the journal so the paced session still replays.

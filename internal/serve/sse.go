@@ -80,9 +80,10 @@ func (h *hub) publish(ev StreamEvent) {
 // sees state right away, then every published frame until the client or
 // the daemon goes away. transform picks what the endpoint emits (the
 // metrics stream sends whole frames, the trace stream only trace deltas);
-// returning nil skips the frame.
-func serveStream(w http.ResponseWriter, r *http.Request, h *hub,
-	done <-chan struct{}, first StreamEvent, transform func(StreamEvent) any) {
+// returning nil skips the frame. Subscription and first-frame snapshot are
+// atomic (subscribeFrame), so no published frame is lost in between.
+func (s *Server) serveStream(w http.ResponseWriter, r *http.Request,
+	transform func(StreamEvent) any) {
 	fl, ok := w.(http.Flusher)
 	if !ok {
 		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
@@ -92,8 +93,8 @@ func serveStream(w http.ResponseWriter, r *http.Request, h *hub,
 	w.Header().Set("Cache-Control", "no-cache")
 	w.WriteHeader(http.StatusOK)
 
-	ch := h.subscribe()
-	defer h.unsubscribe(ch)
+	ch, first := s.subscribeFrame()
+	defer s.hub.unsubscribe(ch)
 
 	write := func(v any) bool {
 		b, err := json.Marshal(v)
@@ -121,7 +122,7 @@ func serveStream(w http.ResponseWriter, r *http.Request, h *hub,
 			}
 		case <-r.Context().Done():
 			return
-		case <-done:
+		case <-s.done:
 			return
 		}
 	}
