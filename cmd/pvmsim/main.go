@@ -38,6 +38,7 @@ func main() {
 	crashFrom := flag.Duration("crash-from", 0, "ft: earliest crash time (default 5s)")
 	crashTo := flag.Duration("crash-to", 0, "ft: latest crash time (default 30s; short runs may finish before crashes land)")
 	wire := flag.Bool("wire", false, "carry every cross-host payload over real loopback sockets (internal/netwire); timing stays the simulated cost model's")
+	wirecodec := flag.String("wirecodec", "binary", "wire payload codec: binary (versioned zero-alloc wirefmt frames) or gob (legacy)")
 	flag.Parse()
 
 	if *system == "ft" {
@@ -59,7 +60,17 @@ func main() {
 	}
 	var wb *netwire.Backend
 	if *wire {
-		wb = netwire.New()
+		var codec netwire.WireCodec
+		switch *wirecodec {
+		case "binary":
+			codec = netwire.BinaryCodec{}
+		case "gob":
+			codec = netwire.GobCodec{}
+		default:
+			fmt.Fprintf(os.Stderr, "pvmsim: unknown -wirecodec %q (want binary or gob)\n", *wirecodec)
+			os.Exit(2)
+		}
+		wb = netwire.NewWithCodec(codec)
 		defer wb.Shutdown()
 		sc.Wire = wb
 	}

@@ -1,0 +1,67 @@
+package ft
+
+import (
+	"encoding/hex"
+	"reflect"
+	"testing"
+
+	"pvmigrate/internal/netwire"
+	"pvmigrate/internal/wirefmt"
+)
+
+// Golden frame: the pinned byte-for-byte encoding of a heartbeat — the one
+// message ft sends across hosts, and the one that must stay a handful of
+// bytes for decentralized dissemination to be cheap. A diff here is a wire
+// ABI break — bump wirefmt.Version instead of updating the fixture.
+func TestGoldenWireBytes(t *testing.T) {
+	const want = "505701400001000000" + "06" // header tag 64, body zig-zag(3)
+	data, err := wirefmt.Append(nil, beat{host: 3})
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	if got := hex.EncodeToString(data); got != want {
+		t.Errorf("encoded bytes drifted (wire ABI change — bump wirefmt.Version):\n got %s\nwant %s", got, want)
+	}
+	raw, err := hex.DecodeString(want)
+	if err != nil {
+		t.Fatalf("bad fixture: %v", err)
+	}
+	v, err := wirefmt.Decode(raw)
+	if err != nil {
+		t.Fatalf("decode fixture: %v", err)
+	}
+	if !reflect.DeepEqual(v, beat{host: 3}) {
+		t.Errorf("decoded %#v, want beat{host: 3}", v)
+	}
+}
+
+// Differential check: a heartbeat decodes to the same value through the
+// legacy gob codec and the binary codec — and the binary frame is the
+// smaller of the two, which is the whole point of replacing gob on a
+// message this frequent.
+func TestCodecDifferential(t *testing.T) {
+	bin, gob := netwire.BinaryCodec{}, netwire.GobCodec{}
+	b := beat{host: 3}
+	bdata, err := bin.AppendEncode(nil, b)
+	if err != nil {
+		t.Fatalf("binary encode: %v", err)
+	}
+	gdata, err := gob.AppendEncode(nil, b)
+	if err != nil {
+		t.Fatalf("gob encode: %v", err)
+	}
+	bv, err := bin.Decode(bdata)
+	if err != nil {
+		t.Fatalf("binary decode: %v", err)
+	}
+	gv, err := gob.Decode(gdata)
+	if err != nil {
+		t.Fatalf("gob decode: %v", err)
+	}
+	if !reflect.DeepEqual(bv, gv) || !reflect.DeepEqual(bv, b) {
+		t.Errorf("codecs disagree: binary %#v, gob %#v, want %#v", bv, gv, b)
+	}
+	if len(bdata) >= len(gdata) {
+		t.Errorf("binary heartbeat is %d bytes, gob %d — binary must be smaller", len(bdata), len(gdata))
+	}
+}

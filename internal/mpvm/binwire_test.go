@@ -1,0 +1,97 @@
+package mpvm
+
+import (
+	"encoding/hex"
+	"reflect"
+	"testing"
+
+	"pvmigrate/internal/core"
+	"pvmigrate/internal/netwire"
+	"pvmigrate/internal/wirefmt"
+)
+
+// mpvmWireFixtures is one representative value per mpvm protocol type —
+// the complete inventory of the migration protocol's cross-host messages.
+func mpvmWireFixtures() []struct {
+	name    string
+	payload any
+	hex     string
+} {
+	vp := core.MakeTID(0, 2)
+	return []struct {
+		name    string
+		payload any
+		hex     string
+	}{
+		{"migrate-cmd", &migrateCmd{
+			order: core.MigrationOrder{VP: vp, Dest: 1, Reason: core.ReasonHighLoad},
+			orig:  vp,
+		}, "5057013000110000008480200209686967682d6c6f6164848020"},
+		{"flush-cmd", &flushCmd{orig: vp, srcHost: 0}, "50570131000400000084802000"},
+		{"flush-ack", &flushAck{orig: vp, host: 1}, "50570132000400000084802002"},
+		{"skeleton-req", &skeletonReq{rpc: 11, orig: vp, name: "slave", srcHost: 0, bytes: 1 << 20}, "50570133000f0000001684802005736c6176650080808001"},
+		{"skeleton-ready", &skeletonReady{rpc: 11, port: 9001}, "50570134000400000016d28c01"},
+		{"restart-cmd", &restartCmd{orig: vp, oldTID: vp, newTID: core.MakeTID(1, 3)}, "505701350009000000848020848020868040"},
+		{"state-header", &stateHeader{orig: vp, total: 1 << 20}, "50570136000700000084802080808001"},
+	}
+}
+
+// Golden frames: the pinned byte-for-byte encoding of every mpvm protocol
+// message. A diff here is a wire ABI break — bump wirefmt.Version instead
+// of updating the fixture.
+func TestGoldenWireBytes(t *testing.T) {
+	for _, c := range mpvmWireFixtures() {
+		t.Run(c.name, func(t *testing.T) {
+			data, err := wirefmt.Append(nil, c.payload)
+			if err != nil {
+				t.Fatalf("encode: %v", err)
+			}
+			if got := hex.EncodeToString(data); got != c.hex {
+				t.Errorf("encoded bytes drifted (wire ABI change — bump wirefmt.Version):\n got %s\nwant %s", got, c.hex)
+			}
+			raw, err := hex.DecodeString(c.hex)
+			if err != nil {
+				t.Fatalf("bad fixture: %v", err)
+			}
+			v, err := wirefmt.Decode(raw)
+			if err != nil {
+				t.Fatalf("decode fixture: %v", err)
+			}
+			if !reflect.DeepEqual(v, c.payload) {
+				t.Errorf("decoded %#v, want %#v", v, c.payload)
+			}
+		})
+	}
+}
+
+// Differential check: every mpvm protocol value must decode to the same
+// semantic value through the legacy gob codec and the binary codec.
+func TestCodecDifferential(t *testing.T) {
+	bin, gob := netwire.BinaryCodec{}, netwire.GobCodec{}
+	for _, c := range mpvmWireFixtures() {
+		t.Run(c.name, func(t *testing.T) {
+			bdata, err := bin.AppendEncode(nil, c.payload)
+			if err != nil {
+				t.Fatalf("binary encode: %v", err)
+			}
+			gdata, err := gob.AppendEncode(nil, c.payload)
+			if err != nil {
+				t.Fatalf("gob encode: %v", err)
+			}
+			bv, err := bin.Decode(bdata)
+			if err != nil {
+				t.Fatalf("binary decode: %v", err)
+			}
+			gv, err := gob.Decode(gdata)
+			if err != nil {
+				t.Fatalf("gob decode: %v", err)
+			}
+			if !reflect.DeepEqual(bv, gv) {
+				t.Errorf("codecs disagree:\nbinary %#v\n   gob %#v", bv, gv)
+			}
+			if !reflect.DeepEqual(bv, c.payload) {
+				t.Errorf("binary round trip %#v, want %#v", bv, c.payload)
+			}
+		})
+	}
+}

@@ -4,24 +4,56 @@ import (
 	"bytes"
 	"encoding/gob"
 	"fmt"
+
+	"pvmigrate/internal/wirefmt"
 )
 
 // WireCodec marshals the `Payload any` field of simulated frames for the
 // trip through a real socket. Implementations must be stateless per call:
-// each Encode produces a self-contained blob (frames are decoded
+// each AppendEncode produces a self-contained blob (frames are decoded
 // out of order and independently, so a streaming encoder that amortizes
 // type descriptors across messages would corrupt the second decode).
+//
+// AppendEncode is append-style so the transport can reuse one scratch
+// buffer across frames: the steady-state encode path of the default
+// BinaryCodec performs zero allocations once the buffer has grown to the
+// working set (pinned by TestBinaryEncodeZeroAlloc and the BENCH_WIRE
+// gate).
 type WireCodec interface {
-	Encode(payload any) ([]byte, error)
+	// AppendEncode appends payload's encoding to dst and returns the
+	// extended slice. On error dst is returned at its original length.
+	AppendEncode(dst []byte, payload any) ([]byte, error)
+	// Decode parses one blob produced by AppendEncode. It must never
+	// panic on malformed input.
 	Decode(data []byte) (any, error)
 }
 
-// GobCodec is the default codec: encoding/gob with a fresh encoder per
+// BinaryCodec is the default codec: the explicit, versioned, zero-alloc
+// binary format of internal/wirefmt (magic/version/tag/length header,
+// little-endian field encodings, per-package type-tag registry). Protocol
+// packages register their types with wirefmt from init, exactly as they
+// register gob mirrors.
+type BinaryCodec struct{}
+
+// AppendEncode implements WireCodec.
+func (BinaryCodec) AppendEncode(dst []byte, payload any) ([]byte, error) {
+	return wirefmt.Append(dst, payload)
+}
+
+// Decode implements WireCodec.
+func (BinaryCodec) Decode(data []byte) (any, error) {
+	return wirefmt.Decode(data)
+}
+
+// GobCodec is the legacy codec: encoding/gob with a fresh encoder per
 // frame, wrapping the payload in a single-field envelope so nil and
-// primitive payloads round-trip like any other. Concrete payload types are
-// registered by their owning packages (pvm, mpvm, ft register their
-// protocol types; core.Buffer implements GobEncoder directly); the basics
-// are registered below so ad-hoc test payloads work out of the box.
+// primitive payloads round-trip like any other. It is no longer the
+// default — BinaryCodec is — but stays behind the WireCodec interface so
+// the two codecs can be differentially tested against each other and so
+// `-wirecodec gob` can reproduce the old byte stream. Concrete payload
+// types are registered by their owning packages (pvm, mpvm, ft register
+// their protocol types; core.Buffer implements GobEncoder directly); the
+// basics are registered below so ad-hoc test payloads work out of the box.
 type GobCodec struct{}
 
 type envelope struct {
@@ -40,13 +72,15 @@ func init() {
 	gob.Register([]float64(nil))
 }
 
-// Encode implements WireCodec.
-func (GobCodec) Encode(payload any) ([]byte, error) {
+// AppendEncode implements WireCodec. Gob cannot write into a caller
+// buffer, so this path allocates per frame — one of the reasons it lost
+// the default slot.
+func (GobCodec) AppendEncode(dst []byte, payload any) ([]byte, error) {
 	var out bytes.Buffer
 	if err := gob.NewEncoder(&out).Encode(&envelope{V: payload}); err != nil {
-		return nil, fmt.Errorf("netwire: encode %T: %w", payload, err)
+		return dst, fmt.Errorf("netwire: encode %T: %w", payload, err)
 	}
-	return out.Bytes(), nil
+	return append(dst, out.Bytes()...), nil
 }
 
 // Decode implements WireCodec.

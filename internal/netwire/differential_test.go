@@ -1,0 +1,157 @@
+package netwire_test
+
+import (
+	"encoding/gob"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"pvmigrate/internal/core"
+	"pvmigrate/internal/netwire"
+	"pvmigrate/internal/sweep"
+)
+
+func init() {
+	// Production traffic only carries buffers inside Message.Buf (a
+	// concrete field), so nothing registers the bare type with gob; the
+	// randomized harness sends them as top-level payloads.
+	gob.Register(&core.Buffer{})
+}
+
+// randBuffer packs a random mix of every item kind. Slice-valued items are
+// always non-empty: gob's mirror normalizes empty slices to nil on decode,
+// so empty-but-non-nil inputs would diff the codecs on a gob quirk rather
+// than a real disagreement (the binary codec preserves the distinction —
+// TestNilVersusEmptySlices in wirefmt pins that).
+func randBuffer(r *rand.Rand, depth int) *core.Buffer {
+	b := core.NewBuffer()
+	for i, n := 0, 1+r.Intn(5); i < n; i++ {
+		switch k := r.Intn(6); {
+		case k == 0:
+			b.PkInt(r.Int() - r.Int())
+		case k == 1:
+			fs := make([]float64, 1+r.Intn(4))
+			for j := range fs {
+				fs[j] = r.NormFloat64()
+			}
+			b.PkFloat64s(fs)
+		case k == 2:
+			bs := make([]byte, 1+r.Intn(32))
+			r.Read(bs)
+			b.PkBytes(bs)
+		case k == 3:
+			b.PkString(fmt.Sprintf("s%x", r.Uint64()))
+		case k == 4:
+			b.PkVirtual(r.Intn(1 << 20))
+		case k == 5 && depth < 3:
+			b.PkBuffer(randBuffer(r, depth+1))
+		default:
+			b.PkInt(r.Intn(1000))
+		}
+	}
+	return b
+}
+
+// randPayload draws from every payload shape the transports carry.
+func randPayload(r *rand.Rand) any {
+	switch r.Intn(8) {
+	case 0:
+		return nil
+	case 1:
+		return r.Intn(2) == 1
+	case 2:
+		return r.Int() - r.Int()
+	case 3:
+		return r.NormFloat64()
+	case 4:
+		return fmt.Sprintf("payload-%x", r.Uint64())
+	case 5:
+		bs := make([]byte, 1+r.Intn(256))
+		r.Read(bs)
+		return bs
+	case 6:
+		fs := make([]float64, 1+r.Intn(64))
+		for j := range fs {
+			fs[j] = r.NormFloat64()
+		}
+		return fs
+	default:
+		return randBuffer(r, 0)
+	}
+}
+
+// Randomized differential cross-check: both codecs must agree on the
+// decoded value for a large randomized payload population, reusing the
+// sweep harness so the population is deterministic per seed and generated
+// in parallel.
+func TestCodecDifferentialRandomized(t *testing.T) {
+	failures := sweep.Seeds(16, 4, func(seed uint64) string {
+		r := rand.New(rand.NewSource(int64(seed)))
+		bin, gc := netwire.BinaryCodec{}, netwire.GobCodec{}
+		for i := 0; i < 64; i++ {
+			p := randPayload(r)
+			bdata, err := bin.AppendEncode(nil, p)
+			if err != nil {
+				return fmt.Sprintf("seed %d payload %d (%T): binary encode: %v", seed, i, p, err)
+			}
+			gdata, err := gc.AppendEncode(nil, p)
+			if err != nil {
+				return fmt.Sprintf("seed %d payload %d (%T): gob encode: %v", seed, i, p, err)
+			}
+			bv, err := bin.Decode(bdata)
+			if err != nil {
+				return fmt.Sprintf("seed %d payload %d (%T): binary decode: %v", seed, i, p, err)
+			}
+			gv, err := gc.Decode(gdata)
+			if err != nil {
+				return fmt.Sprintf("seed %d payload %d (%T): gob decode: %v", seed, i, p, err)
+			}
+			if !reflect.DeepEqual(bv, gv) {
+				return fmt.Sprintf("seed %d payload %d (%T): codecs disagree:\nbinary %#v\n   gob %#v", seed, i, p, bv, gv)
+			}
+			if !reflect.DeepEqual(bv, p) {
+				return fmt.Sprintf("seed %d payload %d (%T): binary round trip %#v != original %#v", seed, i, p, bv, p)
+			}
+		}
+		return ""
+	})
+	for _, f := range failures {
+		if f != "" {
+			t.Error(f)
+		}
+	}
+}
+
+// The default codec's steady-state encode path must not allocate once the
+// pooled buffer has grown to the working set — this is what lets SendDgram
+// and stream.Send reuse one scratch buffer with zero garbage per frame.
+// The BENCH_WIRE gate enforces the same invariant under the benchmark
+// workload; this is the fast always-on check.
+func TestBinaryEncodeZeroAlloc(t *testing.T) {
+	c := netwire.BinaryCodec{}
+	loadvec := make([]float64, 64)
+	for i := range loadvec {
+		loadvec[i] = float64(i) * 0.25
+	}
+	payloads := []any{
+		"state-assumed",
+		42,
+		loadvec,
+		core.NewBuffer().PkInt(7).PkString("status").PkFloat64s(loadvec).PkBytes(make([]byte, 1024)),
+	}
+	scratch := make([]byte, 0, 1<<16)
+	for _, p := range payloads {
+		p := p
+		allocs := testing.AllocsPerRun(200, func() {
+			out, err := c.AppendEncode(scratch[:0], p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			scratch = out[:0]
+		})
+		if allocs != 0 {
+			t.Errorf("AppendEncode(%T) allocates %.1f/op steady-state, want 0", p, allocs)
+		}
+	}
+}

@@ -34,6 +34,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"net/netip"
 	"slices"
 	"sync"
 	"time"
@@ -86,6 +87,16 @@ type Stats struct {
 type Backend struct {
 	codec WireCodec
 
+	// encScratch and pkt are the pooled encode buffers for the send hot
+	// path. Send methods (SendDgram, stream.Send) run on the kernel
+	// goroutine only — netsim is single-threaded — so these need no lock:
+	// the bridge goroutines never touch them. encScratch holds one frame's
+	// codec output and is retained between sends, so a steady-state encode
+	// costs zero allocations; pkt is the fixed-size datagram assembly
+	// buffer (header + one fragment).
+	encScratch []byte
+	pkt        []byte
+
 	mu        sync.Mutex
 	closed    bool
 	hosts     map[netsim.HostID]*hostSock
@@ -102,7 +113,7 @@ type Backend struct {
 
 type hostSock struct {
 	udp  *net.UDPConn
-	addr *net.UDPAddr
+	addr netip.AddrPort // WriteToUDPAddrPort avoids the per-write sockaddr allocation
 }
 
 type hostPort struct {
@@ -114,15 +125,17 @@ type wireListener struct {
 	ln net.Listener
 }
 
-// New builds a Backend using the default GobCodec.
+// New builds a Backend using the default BinaryCodec (internal/wirefmt).
 func New() *Backend {
-	return NewWithCodec(GobCodec{})
+	return NewWithCodec(BinaryCodec{})
 }
 
-// NewWithCodec builds a Backend with a custom payload codec.
+// NewWithCodec builds a Backend with a custom payload codec (GobCodec for
+// the legacy byte stream, or anything implementing WireCodec).
 func NewWithCodec(c WireCodec) *Backend {
 	return &Backend{
 		codec:     c,
+		pkt:       make([]byte, dgramHeaderLen+maxChunk),
 		hosts:     make(map[netsim.HostID]*hostSock),
 		listeners: make(map[hostPort]*wireListener),
 		arrived:   make(map[uint64][]byte),
@@ -162,21 +175,26 @@ func (b *Backend) hostLocked(h netsim.HostID) (*hostSock, error) {
 	// loopback loss out of the picture.
 	_ = conn.SetReadBuffer(8 << 20)
 	_ = conn.SetWriteBuffer(8 << 20)
-	s := &hostSock{udp: conn, addr: conn.LocalAddr().(*net.UDPAddr)}
+	s := &hostSock{udp: conn, addr: conn.LocalAddr().(*net.UDPAddr).AddrPort()}
 	b.hosts[h] = s
 	go b.readDgrams(s)
 	return s, nil
 }
 
 // SendDgram implements netsim.Wire: encode the payload now (at the frame's
-// virtual send time) and write it toward dst's UDP socket, fragmented into
-// maxChunk pieces. The returned token is redeemed exactly once by
-// RecvDgram at the frame's virtual delivery time.
+// virtual send time) into the pooled scratch buffer and write it toward
+// dst's UDP socket, fragmented into maxChunk pieces assembled in the
+// pooled packet buffer. The returned token is redeemed exactly once by
+// RecvDgram at the frame's virtual delivery time. Steady state this path
+// performs no allocations: the codec appends into retained scratch, the
+// packet buffer is fixed-size, and the AddrPort write needs no sockaddr
+// conversion.
 func (b *Backend) SendDgram(src netsim.HostID, srcPort int, dst netsim.HostID, dstPort int, payload any) (uint64, error) {
-	data, err := b.codec.Encode(payload)
+	data, err := b.codec.AppendEncode(b.encScratch[:0], payload)
 	if err != nil {
 		return 0, err
 	}
+	b.encScratch = data[:0] // retain grown capacity for the next frame
 	b.mu.Lock()
 	if b.closed {
 		b.mu.Unlock()
@@ -200,7 +218,7 @@ func (b *Backend) SendDgram(src netsim.HostID, srcPort int, dst netsim.HostID, d
 	if nfrags == 0 {
 		nfrags = 1 // zero-byte payloads still travel as one packet
 	}
-	pkt := make([]byte, dgramHeaderLen+maxChunk)
+	pkt := b.pkt
 	binary.BigEndian.PutUint32(pkt[0:], dgramMagic)
 	binary.BigEndian.PutUint64(pkt[4:], tok)
 	binary.BigEndian.PutUint16(pkt[14:], uint16(nfrags))
@@ -212,7 +230,7 @@ func (b *Backend) SendDgram(src netsim.HostID, srcPort int, dst netsim.HostID, d
 		}
 		binary.BigEndian.PutUint16(pkt[12:], uint16(i))
 		n := copy(pkt[dgramHeaderLen:], data[lo:hi])
-		if _, err := srcSock.udp.WriteToUDP(pkt[:dgramHeaderLen+n], dstSock.addr); err != nil {
+		if _, err := srcSock.udp.WriteToUDPAddrPort(pkt[:dgramHeaderLen+n], dstSock.addr); err != nil {
 			return 0, fmt.Errorf("netwire: dgram %d->%d: %w", src, dst, err)
 		}
 	}

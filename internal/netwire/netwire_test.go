@@ -186,37 +186,61 @@ func TestShutdownIdempotent(t *testing.T) {
 	}
 }
 
-// The codec round-trips the payload shapes the protocols actually send,
+// Both codecs round-trip the payload shapes the protocols actually send,
 // including nil (pure-timing segments) and raw bytes.
-func TestGobCodecRoundTrip(t *testing.T) {
-	c := netwire.GobCodec{}
-	for _, v := range []any{nil, "state-assumed", 42, []byte{1, 2, 3}, 3.5, true} {
-		data, err := c.Encode(v)
-		if err != nil {
-			t.Fatalf("encode %T: %v", v, err)
-		}
-		got, err := c.Decode(data)
-		if err != nil {
-			t.Fatalf("decode %T: %v", v, err)
-		}
-		switch want := v.(type) {
-		case []byte:
-			g, ok := got.([]byte)
-			if !ok || !bytes.Equal(g, want) {
-				t.Fatalf("round trip []byte = %v, want %v", got, want)
+func TestCodecRoundTrip(t *testing.T) {
+	for _, c := range []netwire.WireCodec{netwire.BinaryCodec{}, netwire.GobCodec{}} {
+		for _, v := range []any{nil, "state-assumed", 42, []byte{1, 2, 3}, 3.5, true} {
+			data, err := c.AppendEncode(nil, v)
+			if err != nil {
+				t.Fatalf("%T encode %T: %v", c, v, err)
 			}
-		default:
-			if got != v {
-				t.Fatalf("round trip %T = %v, want %v", v, got, v)
+			got, err := c.Decode(data)
+			if err != nil {
+				t.Fatalf("%T decode %T: %v", c, v, err)
+			}
+			switch want := v.(type) {
+			case []byte:
+				g, ok := got.([]byte)
+				if !ok || !bytes.Equal(g, want) {
+					t.Fatalf("%T round trip []byte = %v, want %v", c, got, want)
+				}
+			default:
+				if got != v {
+					t.Fatalf("%T round trip %T = %v, want %v", c, v, got, v)
+				}
 			}
 		}
+	}
+}
+
+// AppendEncode must extend the caller's buffer in place and leave it
+// untouched on failure — the transports' pooled-scratch discipline
+// depends on both.
+func TestAppendEncodeExtendsDst(t *testing.T) {
+	c := netwire.BinaryCodec{}
+	dst := append(make([]byte, 0, 256), "prefix"...)
+	out, err := c.AppendEncode(dst, 42)
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	if string(out[:6]) != "prefix" || len(out) <= 6 {
+		t.Fatalf("AppendEncode did not extend dst: %q", out)
+	}
+	if got, err := c.Decode(out[6:]); err != nil || got != 42 {
+		t.Fatalf("decode appended frame = %v, %v", got, err)
+	}
+	if bad, err := c.AppendEncode(dst, func() {}); err == nil || len(bad) != len(dst) {
+		t.Fatalf("failed encode returned (%d bytes, %v), want dst unchanged and an error", len(bad), err)
 	}
 }
 
 // Encoding something unmarshalable fails loudly at Send time instead of
 // silently delivering a nil payload.
 func TestCodecRejectsFunctions(t *testing.T) {
-	if _, err := (netwire.GobCodec{}).Encode(func() {}); err == nil {
-		t.Fatal("encoding a func payload should fail")
+	for _, c := range []netwire.WireCodec{netwire.BinaryCodec{}, netwire.GobCodec{}} {
+		if _, err := c.AppendEncode(nil, func() {}); err == nil {
+			t.Fatalf("%T: encoding a func payload should fail", c)
+		}
 	}
 }

@@ -163,6 +163,14 @@ type stream struct {
 	id   uint64 // registration key in Backend.streams
 	conn net.Conn
 
+	// hdr and iov are the send path's pooled buffers: the frame header is
+	// assembled in hdr and handed to the kernel with the payload as a
+	// two-element scatter-gather list (writev on TCP), so the payload is
+	// never copied into a contiguous frame. Send runs on the kernel
+	// goroutine only, so neither needs the lock.
+	hdr [streamHeaderLen]byte
+	iov net.Buffers
+
 	mu      sync.Mutex
 	frames  map[uint64][]byte
 	waiters map[uint64]chan []byte
@@ -186,14 +194,17 @@ func (b *Backend) newStream(c net.Conn) *stream {
 	return s
 }
 
-// Send implements netsim.WireConn: encode and write one seq-tagged frame.
-// netsim calls this from the kernel goroutine only, so writes are already
-// serialized per stream.
+// Send implements netsim.WireConn: encode into the backend's pooled
+// scratch and write one seq-tagged frame as a header+payload
+// scatter-gather pair. netsim calls this from the kernel goroutine only,
+// so writes are already serialized per stream (and across streams, which
+// is what lets every stream share the one scratch buffer).
 func (s *stream) Send(seq uint64, payload any) error {
-	data, err := s.b.codec.Encode(payload)
+	data, err := s.b.codec.AppendEncode(s.b.encScratch[:0], payload)
 	if err != nil {
 		return err
 	}
+	s.b.encScratch = data[:0] // retain grown capacity for the next frame
 	if len(data) > maxFrame {
 		return fmt.Errorf("netwire: frame seq %d: %d bytes exceeds maxFrame", seq, len(data))
 	}
@@ -204,19 +215,19 @@ func (s *stream) Send(seq uint64, payload any) error {
 	}
 	s.mu.Unlock()
 
-	frame := make([]byte, streamHeaderLen+len(data))
-	binary.BigEndian.PutUint64(frame[0:], seq)
-	binary.BigEndian.PutUint32(frame[8:], uint32(len(data)))
-	copy(frame[streamHeaderLen:], data)
+	n := len(data)
+	binary.BigEndian.PutUint64(s.hdr[0:], seq)
+	binary.BigEndian.PutUint32(s.hdr[8:], uint32(n))
+	s.iov = append(s.iov[:0], s.hdr[:], data)
 	s.conn.SetWriteDeadline(time.Now().Add(wireTimeout))
-	if _, err := s.conn.Write(frame); err != nil {
+	if _, err := s.iov.WriteTo(s.conn); err != nil {
 		return fmt.Errorf("netwire: send seq %d: %w", seq, err)
 	}
 	s.conn.SetWriteDeadline(time.Time{})
 
 	s.b.mu.Lock()
 	s.b.stats.StreamFrames++
-	s.b.stats.StreamBytes += int64(len(data))
+	s.b.stats.StreamBytes += int64(n)
 	s.b.mu.Unlock()
 	return nil
 }

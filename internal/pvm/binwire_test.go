@@ -1,0 +1,97 @@
+package pvm
+
+import (
+	"encoding/hex"
+	"reflect"
+	"testing"
+
+	"pvmigrate/internal/core"
+	"pvmigrate/internal/netwire"
+	"pvmigrate/internal/sim"
+	"pvmigrate/internal/wirefmt"
+)
+
+// pvmWireFixtures is one representative value per pvm protocol type — the
+// complete inventory of what pvmd sends across hosts.
+func pvmWireFixtures() []struct {
+	name    string
+	payload any
+	hex     string
+} {
+	buf := core.NewBuffer().PkInt(7).PkString("hi")
+	return []struct {
+		name    string
+		payload any
+		hex     string
+	}{
+		{"message", &Message{
+			Src: core.MakeTID(0, 1), Dst: core.MakeTID(1, 1), Tag: 9,
+			Buf: buf, SentAt: sim.FromSeconds(2), Hops: 1,
+		}, "5057012000170000008280208280401280d0acf30e02100002000e0302686914"},
+		{"ctlmsg-kill", &CtlMsg{Kind: "kill", From: core.MakeTID(0, 1), Payload: core.MakeTID(1, 2)}, "50570121000d000000046b696c6c8280201100848040"},
+		{"spawn-req", &spawnReq{rpc: 7, name: "worker", replyHost: 1}, "5057012200090000000e06776f726b657202"},
+		{"spawn-reply", &spawnReply{rpc: 7, tid: core.MakeTID(1, 2), err: "no such host"}, "5057012300110000000e8480400c6e6f207375636820686f7374"},
+		{"group-req", &groupReq{id: 3, op: "join", group: "workers", tid: core.MakeTID(0, 1), host: 0, count: 2}, "50570124001300000006046a6f696e07776f726b6572738280200004"},
+		{"group-reply", &groupReply{id: 3, inst: 1, size: 2, members: []core.TID{core.MakeTID(0, 1), core.MakeTID(1, 1)}, err: ""}, "50570125000b0000000602040382802082804000"},
+	}
+}
+
+// Golden frames: the pinned byte-for-byte encoding of every pvm protocol
+// message. A diff here is a wire ABI break — bump wirefmt.Version instead
+// of updating the fixture.
+func TestGoldenWireBytes(t *testing.T) {
+	for _, c := range pvmWireFixtures() {
+		t.Run(c.name, func(t *testing.T) {
+			data, err := wirefmt.Append(nil, c.payload)
+			if err != nil {
+				t.Fatalf("encode: %v", err)
+			}
+			if got := hex.EncodeToString(data); got != c.hex {
+				t.Errorf("encoded bytes drifted (wire ABI change — bump wirefmt.Version):\n got %s\nwant %s", got, c.hex)
+			}
+			raw, err := hex.DecodeString(c.hex)
+			if err != nil {
+				t.Fatalf("bad fixture: %v", err)
+			}
+			v, err := wirefmt.Decode(raw)
+			if err != nil {
+				t.Fatalf("decode fixture: %v", err)
+			}
+			if !reflect.DeepEqual(v, c.payload) {
+				t.Errorf("decoded %#v, want %#v", v, c.payload)
+			}
+		})
+	}
+}
+
+// Differential check: every pvm protocol value must decode to the same
+// semantic value through the legacy gob codec and the binary codec.
+func TestCodecDifferential(t *testing.T) {
+	bin, gob := netwire.BinaryCodec{}, netwire.GobCodec{}
+	for _, c := range pvmWireFixtures() {
+		t.Run(c.name, func(t *testing.T) {
+			bdata, err := bin.AppendEncode(nil, c.payload)
+			if err != nil {
+				t.Fatalf("binary encode: %v", err)
+			}
+			gdata, err := gob.AppendEncode(nil, c.payload)
+			if err != nil {
+				t.Fatalf("gob encode: %v", err)
+			}
+			bv, err := bin.Decode(bdata)
+			if err != nil {
+				t.Fatalf("binary decode: %v", err)
+			}
+			gv, err := gob.Decode(gdata)
+			if err != nil {
+				t.Fatalf("gob decode: %v", err)
+			}
+			if !reflect.DeepEqual(bv, gv) {
+				t.Errorf("codecs disagree:\nbinary %#v\n   gob %#v", bv, gv)
+			}
+			if !reflect.DeepEqual(bv, c.payload) {
+				t.Errorf("binary round trip %#v, want %#v", bv, c.payload)
+			}
+		})
+	}
+}

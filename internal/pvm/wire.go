@@ -24,6 +24,10 @@ func init() {
 	gob.Register(&spawnReply{})
 	gob.Register(&groupReq{})
 	gob.Register(&groupReply{})
+	// The kill RPC carries a bare core.TID payload; registering it here
+	// keeps the gob codec able to decode every payload the binary codec
+	// can, which the differential tests in binwire_test.go rely on.
+	gob.Register(core.TID(0))
 }
 
 // encodeMirror and decodeMirror are the shared GobEncoder/GobDecoder
