@@ -5,26 +5,46 @@
 //
 // It proves at compile time what internal/chaos samples at run time: no
 // wall-clock reads, no global RNG, no order-visible map iteration, no raw
-// goroutines in sim-driven code, and no silently dropped protocol errors.
+// goroutines in sim-driven code, no silently dropped protocol errors — and,
+// interprocedurally, no allocation on the zero-alloc hot paths (noalloc),
+// no blocking host I/O outside the AwaitExternal bridge (bridgecall), wire
+// registries that match spec and lockfile (wiretag), and error codes
+// declared once and documented (errcode).
+//
 // Exit status 1 means findings were reported; 2 means a package failed to
-// load.
+// load. -json emits one JSON object per finding (file, line, column,
+// analyzer, message) for CI annotation. -write-wiretags regenerates
+// wiretags.lock from the registries instead of linting.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"pvmigrate/internal/lint"
 )
 
 func main() {
-	var only string
+	var (
+		only          string
+		jsonOut       bool
+		verbose       bool
+		writeWiretags bool
+	)
 	flag.StringVar(&only, "analyzers", "",
 		"comma-separated subset of analyzers to run (default: all)")
+	flag.BoolVar(&jsonOut, "json", false,
+		"emit one JSON object per finding: {file, line, col, analyzer, message}")
+	flag.BoolVar(&verbose, "v", false,
+		"log files the loader deliberately skips (tests, build-tag excluded)")
+	flag.BoolVar(&writeWiretags, "write-wiretags", false,
+		"regenerate the wiretags.lock shape pin from the registries and exit")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: pvmlint [-analyzers a,b] [packages]\n\n")
+		fmt.Fprintf(os.Stderr, "usage: pvmlint [-analyzers a,b] [-json] [-v] [-write-wiretags] [packages]\n\n")
 		fmt.Fprintf(os.Stderr, "Analyzers:\n")
 		for _, a := range lint.All(lint.DefaultConfig()) {
 			fmt.Fprintf(os.Stderr, "  %-12s %s\n", a.Name, a.Doc)
@@ -38,7 +58,8 @@ func main() {
 		patterns = []string{"./..."}
 	}
 
-	analyzers := lint.All(lint.DefaultConfig())
+	cfg := lint.DefaultConfig()
+	analyzers := lint.All(cfg)
 	if only != "" {
 		want := make(map[string]bool)
 		for _, name := range strings.Split(only, ",") {
@@ -59,26 +80,57 @@ func main() {
 	}
 
 	loader := lint.NewLoader()
+	if verbose {
+		loader.Logf = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
 	pkgs, err := loader.LoadPatterns(patterns)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "pvmlint: %v\n", err)
 		os.Exit(2)
 	}
+	prog := lint.NewProgram(pkgs)
 
-	findings := 0
-	for _, pkg := range pkgs {
-		diags, err := lint.RunAnalyzers(pkg, analyzers)
-		if err != nil {
+	if writeWiretags {
+		root := prog.RootDir()
+		if root == "" {
+			fmt.Fprintln(os.Stderr, "pvmlint: cannot locate module root for wiretags.lock")
+			os.Exit(2)
+		}
+		path := cfg.WireLock
+		if !filepath.IsAbs(path) {
+			path = filepath.Join(root, path)
+		}
+		if err := os.WriteFile(path, []byte(lint.WireLockContent(prog, cfg)), 0o644); err != nil {
 			fmt.Fprintf(os.Stderr, "pvmlint: %v\n", err)
 			os.Exit(2)
 		}
-		for _, d := range diags {
+		fmt.Printf("pvmlint: wrote %s\n", path)
+		return
+	}
+
+	diags, err := lint.RunAll(prog, analyzers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pvmlint: %v\n", err)
+		os.Exit(2)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	for _, d := range diags {
+		if jsonOut {
+			enc.Encode(struct {
+				File     string `json:"file"`
+				Line     int    `json:"line"`
+				Col      int    `json:"col"`
+				Analyzer string `json:"analyzer"`
+				Message  string `json:"message"`
+			}{d.Position.Filename, d.Position.Line, d.Position.Column, d.Analyzer, d.Message})
+		} else {
 			fmt.Printf("%s: %s (%s)\n", d.Position, d.Message, d.Analyzer)
-			findings++
 		}
 	}
-	if findings > 0 {
-		fmt.Fprintf(os.Stderr, "pvmlint: %d finding(s)\n", findings)
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "pvmlint: %d finding(s)\n", len(diags))
 		os.Exit(1)
 	}
 }

@@ -82,7 +82,67 @@ func TestDroppedErr(t *testing.T) {
 	linttest.Run(t, lint.NewDroppedErr(cfg), fixture("droppederr", "allowed"), simDrivenPath)
 }
 
-// TestRepoClean runs the whole suite over the whole repository: the merged
+func TestNoAlloc(t *testing.T) {
+	cfg := lint.DefaultConfig()
+	cfg.AllocHot = map[string][]string{simDrivenPath: {"Hot"}}
+	// flagged: every allocating shape caught, in the entry point's helpers
+	// and in a registered wire encoder; cold functions allocate freely.
+	linttest.Run(t, lint.NewNoAlloc(cfg), fixture("noalloc", "flagged"), simDrivenPath)
+	// audited: `// lint:alloc` suppresses on the line or the line above,
+	// and a directive suppressing nothing is itself a finding.
+	linttest.Run(t, lint.NewNoAlloc(cfg), fixture("noalloc", "audited"), simDrivenPath)
+	// exempt: calls into cfg.AllocExempt packages (structured errors) are
+	// failure-path escapes — body and argument boxing both uncounted.
+	linttest.Run(t, lint.NewNoAlloc(cfg), fixture("noalloc", "exempt"), simDrivenPath)
+}
+
+func TestBridgeCall(t *testing.T) {
+	cfg := lint.DefaultConfig()
+	linttest.Run(t, lint.NewBridgeCall(cfg), fixture("bridgecall", "flagged"), simDrivenPath)
+	// The same chain inside an AwaitExternal callback is silent: coverage
+	// is interprocedural, any depth down.
+	linttest.Run(t, lint.NewBridgeCall(cfg), fixture("bridgecall", "awaited"), simDrivenPath)
+	// An audited bridge function may block; its unaudited neighbour may
+	// not — the allowlist names functions, not packages.
+	bcfg := lint.DefaultConfig()
+	bcfg.BridgeFuncs[simDrivenPath] = []string{"Pump"}
+	linttest.Run(t, lint.NewBridgeCall(bcfg), fixture("bridgecall", "bridged"), simDrivenPath)
+}
+
+func TestWireTag(t *testing.T) {
+	run := func(variant string) {
+		t.Helper()
+		cfg := lint.DefaultConfig()
+		cfg.WireRanges = map[string][2]int{simDrivenPath: {80, 89}}
+		dir := fixture("wiretag", variant)
+		lock, err := filepath.Abs(filepath.Join(dir, "LOCK"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if variant == "missinglock" {
+			lock = filepath.Join(filepath.Dir(lock), "NO_SUCH_LOCK")
+		}
+		cfg.WireLock = lock
+		linttest.Run(t, lint.NewWireTag(cfg), dir, simDrivenPath)
+	}
+	run("flagged")     // range, duplicate, missing-encoder, missing-golden
+	run("golden")      // fully conforming: silent
+	run("drift")       // committed lock pins a shape the struct no longer has
+	run("missinglock") // no lockfile at all
+}
+
+func TestErrCode(t *testing.T) {
+	cfg := lint.DefaultConfig()
+	doc, err := filepath.Abs(filepath.Join(fixture("errcode", "flagged"), "DOC.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.ErrCodeDoc = doc
+	linttest.Run(t, lint.NewErrCode(cfg), fixture("errcode", "flagged"), simDrivenPath)
+}
+
+// TestRepoClean runs the whole suite — per-package and interprocedural
+// analyzers alike — over the whole repository as one program: the merged
 // tree carries zero findings, and stays that way. This is the same gate CI
 // runs via `go run ./cmd/pvmlint ./...`; skipped under -short because it
 // type-checks the full module from source.
@@ -95,14 +155,11 @@ func TestRepoClean(t *testing.T) {
 	if err != nil {
 		t.Fatalf("loading repository: %v", err)
 	}
-	analyzers := lint.All(lint.DefaultConfig())
-	for _, pkg := range pkgs {
-		diags, err := lint.RunAnalyzers(pkg, analyzers)
-		if err != nil {
-			t.Fatalf("%s: %v", pkg.Path, err)
-		}
-		for _, d := range diags {
-			t.Errorf("%s: %s (%s)", d.Position, d.Message, d.Analyzer)
-		}
+	diags, err := lint.RunAll(lint.NewProgram(pkgs), lint.All(lint.DefaultConfig()))
+	if err != nil {
+		t.Fatalf("running suite: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s: %s (%s)", d.Position, d.Message, d.Analyzer)
 	}
 }

@@ -53,6 +53,53 @@ type Config struct {
 	// a protocol hole the chaos sweep can only find by luck.
 	ProtocolFuncs map[string][]string
 
+	// AllocHot anchors noalloc's hot set: package path → function keys
+	// ("Kernel.Schedule", "Append") whose allocs/op == 0 the benchmark
+	// gates assert at run time. Everything statically reachable from these
+	// (static calls and interface dispatch; spawned goroutines excluded —
+	// they are off the caller's synchronous path) must be allocation-free,
+	// with `// lint:alloc <reason>` as the audited escape hatch. The
+	// registered wire encoders (the enc argument of every wirefmt.Register
+	// call) are rooted automatically.
+	AllocHot map[string][]string
+
+	// AllocExempt exempts callee packages from noalloc's reachability
+	// closure and call-site checks: calls *into* these packages are
+	// failure-path escapes — building a structured error allocates, but
+	// only after the hot path has already failed, so the zero-alloc
+	// benchmarks never see it. The packages' own bodies are not analyzed
+	// as hot either.
+	AllocExempt []string
+
+	// BridgeFuncs is bridgecall's audited allowlist: package path →
+	// function keys sanctioned to perform blocking host I/O outside a
+	// Kernel.AwaitExternal callback. These are the wall side of the
+	// bridge: socket-drain goroutines, HTTP handlers, the daemon pacer —
+	// entry points the host invokes, never the kernel. Where PR 3's
+	// analyzers exempted whole packages, this list names functions.
+	BridgeFuncs map[string][]string
+
+	// BridgeAllow exempts whole packages from bridgecall. Only host-side
+	// tooling belongs here — code that can never run under the kernel.
+	BridgeAllow []string
+
+	// WireRanges assigns each registry package its wire-tag block, closed
+	// on both ends. A wirefmt.Register call from any other package — or
+	// with a tag outside its package's block — is a wiretag finding.
+	WireRanges map[string][2]int
+
+	// WireLock is the committed field-shape lockfile for every registered
+	// wire type, relative to the module root (absolute paths are used
+	// verbatim; fixtures do that). Shape drift against it is a wiretag
+	// finding until the lockfile is regenerated and the wire version
+	// bumped.
+	WireLock string
+
+	// ErrCodeDoc is the document (relative to the module root, absolute
+	// used verbatim) whose error-code table must mention every declared
+	// errs.Code, each spelled `code` in backquotes.
+	ErrCodeDoc string
+
 	// IncludeTests extends the checks into _test.go files. Off by
 	// default: tests drive the simulation from outside and may use the
 	// real clock for their own watchdogs.
@@ -116,5 +163,74 @@ func DefaultConfig() *Config {
 				"Send", "SendAs", "Migrate", "FlushAndHold", "Respawn",
 			},
 		},
+		AllocHot: map[string][]string{
+			// The kernel schedule/dispatch path: what
+			// BenchmarkKernelScheduleDispatch (BENCH_KERNEL.json) asserts
+			// allocates zero per op.
+			"pvmigrate/internal/sim": {
+				"Kernel.Schedule", "Kernel.ScheduleAt", "Kernel.scheduleAt",
+				"Kernel.scheduleWake", "Kernel.scheduleWakeTimer",
+				"Kernel.run", "Kernel.dispatch",
+			},
+			// The encode path and the scalar decode helpers: what
+			// TestAppendZeroAlloc asserts. The slice/string readers and
+			// Decode allocate their results by design and are not rooted.
+			"pvmigrate/internal/wirefmt": {
+				"Append", "AppendAny",
+				"AppendBool", "AppendInt", "AppendInt64", "AppendUvarint",
+				"AppendFloat64", "AppendString", "AppendBytes",
+				"AppendInts", "AppendFloat64s",
+				"Reader.Byte", "Reader.Bool", "Reader.Uvarint",
+				"Reader.Int64", "Reader.Int", "Reader.Float64",
+				"Reader.Bytes", "Reader.Remaining", "Reader.CheckClaim",
+			},
+			// The UDP and TCP send paths: what TestBinaryEncodeZeroAlloc
+			// and the BENCH_WIRE gate assert stay pooled.
+			"pvmigrate/internal/netwire": {
+				"Backend.SendDgram", "stream.Send",
+			},
+		},
+		AllocExempt: []string{
+			// Structured-error construction: reached only after a decode
+			// or encode has already failed, never on the success path the
+			// allocs/op gates measure.
+			"pvmigrate/internal/errs",
+		},
+		BridgeFuncs: map[string][]string{
+			// netwire's socket bridge: goroutines that drain real sockets
+			// while the kernel goroutine is parked in AwaitExternal, plus
+			// the host-side teardown the harness owns.
+			"pvmigrate/internal/netwire": {
+				"Backend.readDgrams", "Backend.acceptLoop",
+				"Backend.matchDial", "stream.read", "Backend.Shutdown",
+			},
+			// serve's wall side: net/http invokes the handlers, the pacer
+			// runs on its own goroutine, and journal replay happens before
+			// the kernel is live. Each enters the kernel only through the
+			// mutex-serialised apply path, which journals under
+			// AwaitExternal.
+			"pvmigrate/internal/serve": {
+				"Server.ServeHTTP", "Server.Close", "Server.pace",
+				"Server.handleSubmit", "Server.handleJob",
+				"Server.handleMigrate", "Server.handleFault",
+				"Server.handleOwner", "Server.handleRollback",
+				"Server.handleAdvance", "Server.handleTrace",
+				"Server.serveStream",
+			},
+		},
+		BridgeAllow: []string{
+			// The linter itself: host tooling that shells out to `go list`
+			// and reads source trees by design; nothing here ever runs
+			// under the kernel.
+			"pvmigrate/internal/lint",
+		},
+		WireRanges: map[string][2]int{
+			"pvmigrate/internal/core": {16, 31},
+			"pvmigrate/internal/pvm":  {32, 47},
+			"pvmigrate/internal/mpvm": {48, 63},
+			"pvmigrate/internal/ft":   {64, 79},
+		},
+		WireLock:   "wiretags.lock",
+		ErrCodeDoc: "DESIGN.md",
 	}
 }

@@ -4,7 +4,7 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
-	"strings"
+	"sort"
 )
 
 // NewDroppedErr builds the droppederr analyzer: on the protocol message
@@ -57,6 +57,17 @@ func NewDroppedErr(cfg *Config) *Analyzer {
 				continue
 			}
 			reasons := reasonLines(pass.Fset, file)
+			suppress := func(line int) bool {
+				if r := reasons[line]; r != nil {
+					r.used = true
+					return true
+				}
+				if r := reasons[line-1]; r != nil {
+					r.used = true
+					return true
+				}
+				return false
+			}
 			ast.Inspect(file, func(n ast.Node) bool {
 				switch n := n.(type) {
 				case *ast.ExprStmt:
@@ -88,7 +99,7 @@ func NewDroppedErr(cfg *Config) *Analyzer {
 						return true
 					}
 					line := pass.Fset.Position(n.Pos()).Line
-					if reasons[line] || reasons[line-1] {
+					if suppress(line) {
 						return true
 					}
 					pass.Reportf(n.Pos(),
@@ -97,20 +108,41 @@ func NewDroppedErr(cfg *Config) *Analyzer {
 				}
 				return true
 			})
+			// An audit that audits nothing is a lie waiting to mislead the
+			// next reader: once the discard it justified is gone (or was
+			// never a protocol discard), the directive must go too.
+			var stale []int
+			for line, r := range reasons {
+				if !r.used {
+					stale = append(stale, line)
+				}
+			}
+			sort.Ints(stale)
+			for _, line := range stale {
+				pass.Reportf(reasons[line].pos,
+					"stale lint:reason directive: it justifies no discarded protocol error; delete it or move it to the discard it audits")
+			}
 		}
 		return nil
 	}
 	return a
 }
 
+// reason is one `// lint:reason` directive and whether it suppressed a
+// finding.
+type reason struct {
+	pos  token.Pos
+	used bool
+}
+
 // reasonLines collects the lines carrying a `// lint:reason` comment; a
 // justified discard has the comment on its own line or the line above.
-func reasonLines(fset *token.FileSet, file *ast.File) map[int]bool {
-	lines := make(map[int]bool)
+func reasonLines(fset *token.FileSet, file *ast.File) map[int]*reason {
+	lines := make(map[int]*reason)
 	for _, cg := range file.Comments {
 		for _, c := range cg.List {
-			if strings.Contains(c.Text, "lint:reason") {
-				lines[fset.Position(c.Pos()).Line] = true
+			if directiveComment(c, "lint:reason") {
+				lines[fset.Position(c.Pos()).Line] = &reason{pos: c.Pos()}
 			}
 		}
 	}

@@ -27,11 +27,15 @@ import (
 )
 
 // Analyzer is one named check over a type-checked package, in the image of
-// golang.org/x/tools/go/analysis.Analyzer.
+// golang.org/x/tools/go/analysis.Analyzer. Exactly one of Run (per-package,
+// syntactic/type-aware) and RunProgram (whole-program, callgraph-aware) is
+// set: the interprocedural analyzers need every loaded package at once to
+// resolve calls across package boundaries.
 type Analyzer struct {
-	Name string
-	Doc  string
-	Run  func(*Pass) error
+	Name       string
+	Doc        string
+	Run        func(*Pass) error
+	RunProgram func(*ProgramPass) error
 }
 
 // Pass carries one package's parsed-and-type-checked state through one
@@ -64,23 +68,26 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
-// RunAnalyzers applies each analyzer to pkg and returns the combined
-// diagnostics sorted by file position.
-func RunAnalyzers(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
-	var out []Diagnostic
-	for _, a := range analyzers {
-		pass := &Pass{
-			Analyzer: a,
-			Fset:     pkg.Fset,
-			Files:    pkg.Files,
-			Pkg:      pkg.Types,
-			Info:     pkg.Info,
-		}
-		if err := a.Run(pass); err != nil {
-			return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
-		}
-		out = append(out, pass.diags...)
-	}
+// ProgramPass carries the whole loaded program through one program-level
+// analyzer, and collects the diagnostics it reports.
+type ProgramPass struct {
+	Analyzer *Analyzer
+	Prog     *Program
+
+	diags []Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *ProgramPass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{
+		Pos:      pos,
+		Position: p.Prog.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+func sortDiags(out []Diagnostic) {
 	sort.Slice(out, func(i, j int) bool {
 		pi, pj := out[i].Position, out[j].Position
 		if pi.Filename != pj.Filename {
@@ -94,10 +101,63 @@ func RunAnalyzers(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 		}
 		return out[i].Analyzer < out[j].Analyzer
 	})
+}
+
+// RunAnalyzers applies each per-package analyzer to pkg and returns the
+// combined diagnostics sorted by file position. Program-level analyzers are
+// skipped; use RunAll for the full suite.
+func RunAnalyzers(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var out []Diagnostic
+	for _, a := range analyzers {
+		if a.Run == nil {
+			continue
+		}
+		pass := &Pass{
+			Analyzer: a,
+			Fset:     pkg.Fset,
+			Files:    pkg.Files,
+			Pkg:      pkg.Types,
+			Info:     pkg.Info,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
+		}
+		out = append(out, pass.diags...)
+	}
+	sortDiags(out)
 	return out, nil
 }
 
-// All returns the full suite, built from cfg.
+// RunAll applies the whole suite — per-package and program-level analyzers
+// alike — to every package of prog and returns the combined diagnostics
+// sorted by file position.
+func RunAll(prog *Program, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var out []Diagnostic
+	for _, a := range analyzers {
+		switch {
+		case a.Run != nil:
+			for _, pkg := range prog.Pkgs {
+				diags, err := RunAnalyzers(pkg, []*Analyzer{a})
+				if err != nil {
+					return nil, err
+				}
+				out = append(out, diags...)
+			}
+		case a.RunProgram != nil:
+			pass := &ProgramPass{Analyzer: a, Prog: prog}
+			if err := a.RunProgram(pass); err != nil {
+				return nil, fmt.Errorf("%s: %w", a.Name, err)
+			}
+			out = append(out, pass.diags...)
+		}
+	}
+	sortDiags(out)
+	return out, nil
+}
+
+// All returns the full suite, built from cfg: the five per-package
+// determinism/hygiene passes from PR 3 and the four interprocedural
+// invariant passes layered on the callgraph.
 func All(cfg *Config) []*Analyzer {
 	return []*Analyzer{
 		NewNoWallClock(cfg),
@@ -105,6 +165,10 @@ func All(cfg *Config) []*Analyzer {
 		NewMapOrder(cfg),
 		NewRawGoroutine(cfg),
 		NewDroppedErr(cfg),
+		NewNoAlloc(cfg),
+		NewBridgeCall(cfg),
+		NewWireTag(cfg),
+		NewErrCode(cfg),
 	}
 }
 
@@ -169,6 +233,14 @@ func returnsError(f *types.Func) (pos int, ok bool) {
 		}
 	}
 	return 0, false
+}
+
+// directiveComment reports whether c is a lint directive of the given name
+// (`// lint:reason …`, `// lint:alloc …`): the comment's text must begin
+// with the directive, so prose that merely mentions one is not a directive.
+func directiveComment(c *ast.Comment, name string) bool {
+	text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+	return strings.HasPrefix(text, name)
 }
 
 // testFile reports whether the file holding pos is a _test.go file.

@@ -28,17 +28,22 @@ var loader = lint.NewLoader()
 var wantRE = regexp.MustCompile("//\\s*want\\s+(.*)$")
 
 // Run loads dir as a single package under importPath, applies the
-// analyzer, and diffs its diagnostics against the fixture's want comments.
-// importPath is part of the fixture: analyzers scope themselves by package
-// path, so the same source loaded under an allowlisted path must produce
-// no diagnostics.
+// analyzer — per-package or program-level; a program-level analyzer sees a
+// one-package program — and diffs its diagnostics against the fixture's
+// want comments. importPath is part of the fixture: analyzers scope
+// themselves by package path, so the same source loaded under an
+// allowlisted path must produce no diagnostics.
 func Run(t *testing.T, a *lint.Analyzer, dir, importPath string) {
 	t.Helper()
-	pkg, err := loader.LoadDir(dir, importPath)
+	// Fork per fixture: several fixtures deliberately load under real
+	// import paths (the allowlist names paths, not idioms), and the loader
+	// serves its analysis cache to importers — one fixture must never
+	// shadow a real package for the next.
+	pkg, err := loader.Fork().LoadDir(dir, importPath)
 	if err != nil {
 		t.Fatalf("loading %s as %s: %v", dir, importPath, err)
 	}
-	diags, err := lint.RunAnalyzers(pkg, []*lint.Analyzer{a})
+	diags, err := lint.RunAll(lint.NewProgram([]*lint.Package{pkg}), []*lint.Analyzer{a})
 	if err != nil {
 		t.Fatalf("running %s on %s: %v", a.Name, importPath, err)
 	}

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"go/ast"
+	"go/build"
 	"go/importer"
 	"go/parser"
 	"go/token"
@@ -25,6 +26,22 @@ type Package struct {
 	Files []*ast.File
 	Types *types.Package
 	Info  *types.Info
+
+	// Generated names the loaded files carrying a standard
+	// `// Code generated … DO NOT EDIT.` header. They are analyzed like
+	// any other file — generated code runs like any other code — but
+	// tools rendering diagnostics may want the distinction.
+	Generated map[string]bool
+}
+
+// SkippedFile records one file the loader deliberately left out of a
+// package, and why. Skips used to be silent, which hid a real gap: a
+// build-tag-excluded file is invisible to every analyzer, so an invariant
+// violation inside it survives until someone builds with that tag.
+type SkippedFile struct {
+	Dir    string
+	Name   string
+	Reason string
 }
 
 // Loader parses and type-checks packages for analysis. Dependencies —
@@ -32,9 +49,30 @@ type Package struct {
 // via go/importer's "source" compiler, so the loader needs no pre-built
 // export data and no network: everything resolves inside GOROOT and the
 // module tree.
+//
+// The loader is itself the types.Importer its checks run under: a package
+// already loaded for analysis is served from the cache, so when netwire is
+// checked after netsim, netwire's view of netsim.HostID is the *same*
+// types.Object the analyzers hold. Without that identity, every
+// cross-package fact the interprocedural analyzers rely on silently fails —
+// types.Implements says netwire.Backend does not satisfy netsim.Wire, and
+// a static call from cmd/ into serve resolves to a *types.Func the
+// callgraph has never seen. LoadPatterns loads in dependency order so the
+// cache is warm before a dependent is checked.
 type Loader struct {
 	fset *token.FileSet
 	imp  types.ImporterFrom
+
+	// loaded caches every analysis package by import path; ImportFrom
+	// serves these before falling back to the source importer.
+	loaded map[string]*Package
+
+	// Logf, when set, receives one line per skipped file as it happens
+	// (pvmlint -v wires this to stderr). Skips are always recorded on the
+	// loader regardless.
+	Logf func(format string, args ...any)
+
+	skipped []SkippedFile
 }
 
 // NewLoader returns a loader with a shared file set and import cache; load
@@ -46,17 +84,59 @@ func NewLoader() *Loader {
 	if !ok {
 		panic("lint: source importer does not implement ImporterFrom")
 	}
-	return &Loader{fset: fset, imp: imp}
+	return &Loader{fset: fset, imp: imp, loaded: make(map[string]*Package)}
+}
+
+// Fork returns a loader sharing this loader's file set and source-importer
+// cache — so the standard library and real module packages are still
+// type-checked only once per process — but with an empty analysis-package
+// cache. Fixture harnesses need this: a fixture loaded under an
+// allowlisted real import path (to test path-scoped rules) would otherwise
+// be served, via ImportFrom, to every later fixture importing the real
+// package of that name.
+func (l *Loader) Fork() *Loader {
+	return &Loader{fset: l.fset, imp: l.imp, loaded: make(map[string]*Package), Logf: l.Logf}
+}
+
+// Import implements types.Importer.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	return l.ImportFrom(path, "", 0)
+}
+
+// ImportFrom implements types.ImporterFrom: analysis packages already
+// loaded through this loader are returned directly (preserving type
+// identity between the importing check and the analyzers); everything else
+// is type-checked from source.
+func (l *Loader) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	if p, ok := l.loaded[path]; ok {
+		return p.Types, nil
+	}
+	return l.imp.ImportFrom(path, dir, mode)
+}
+
+// Skipped returns every file the loader has deliberately excluded so far,
+// with reasons, in the order encountered.
+func (l *Loader) Skipped() []SkippedFile { return l.skipped }
+
+func (l *Loader) skip(dir, name, reason string) {
+	l.skipped = append(l.skipped, SkippedFile{Dir: dir, Name: name, Reason: reason})
+	if l.Logf != nil {
+		l.Logf("lint: skipping %s: %s", filepath.Join(dir, name), reason)
+	}
 }
 
 // LoadFiles parses the named files as one package rooted at dir and
 // type-checks it under the given import path.
 func (l *Loader) LoadFiles(dir, importPath string, names []string) (*Package, error) {
 	var files []*ast.File
+	generated := make(map[string]bool)
 	for _, name := range names {
 		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)
 		if err != nil {
 			return nil, err
+		}
+		if ast.IsGenerated(f) {
+			generated[name] = true
 		}
 		files = append(files, f)
 	}
@@ -72,7 +152,7 @@ func (l *Loader) LoadFiles(dir, importPath string, names []string) (*Package, er
 	}
 	var firstErr error
 	conf := types.Config{
-		Importer: l.imp,
+		Importer: l,
 		Error: func(err error) {
 			if firstErr == nil {
 				firstErr = err
@@ -86,47 +166,75 @@ func (l *Loader) LoadFiles(dir, importPath string, names []string) (*Package, er
 	if err != nil {
 		return nil, err
 	}
-	return &Package{
-		Path:  importPath,
-		Dir:   dir,
-		Fset:  l.fset,
-		Files: files,
-		Types: tpkg,
-		Info:  info,
-	}, nil
+	pkg := &Package{
+		Path:      importPath,
+		Dir:       dir,
+		Fset:      l.fset,
+		Files:     files,
+		Types:     tpkg,
+		Info:      info,
+		Generated: generated,
+	}
+	l.loaded[importPath] = pkg
+	return pkg, nil
 }
 
-// LoadDir loads every non-test .go file in dir as one package.
+// LoadDir loads dir as one package: every .go file the default build
+// context would compile. Test files, dotfiles and files excluded by build
+// constraints are skipped explicitly — each skip is recorded (and logged
+// via Logf), never silent.
 func (l *Loader) LoadDir(dir, importPath string) (*Package, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, err
 	}
+	ctx := build.Default
 	var names []string
 	for _, e := range entries {
 		name := e.Name()
-		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
-			strings.HasSuffix(name, "_test.go") || strings.HasPrefix(name, ".") {
+		if e.IsDir() || !strings.HasSuffix(name, ".go") {
 			continue
 		}
-		names = append(names, name)
+		switch {
+		case strings.HasPrefix(name, "."), strings.HasPrefix(name, "_"):
+			l.skip(dir, name, "ignored by the go tool (leading . or _)")
+		case strings.HasSuffix(name, "_test.go"):
+			l.skip(dir, name, "test file (analyzers run on the non-test build; pass IncludeTests-aware loads explicitly)")
+		default:
+			match, err := ctx.MatchFile(dir, name)
+			if err != nil {
+				return nil, fmt.Errorf("lint: %s: %w", filepath.Join(dir, name), err)
+			}
+			if !match {
+				l.skip(dir, name, "excluded by build constraints for "+ctx.GOOS+"/"+ctx.GOARCH)
+				continue
+			}
+			names = append(names, name)
+		}
 	}
 	sort.Strings(names)
 	return l.LoadFiles(dir, importPath, names)
 }
 
 // listedPackage is the slice of `go list -json` output the loader needs.
+// IgnoredGoFiles and TestGoFiles are requested so their exclusion is
+// recorded, not silent; Imports orders the load so dependencies are cached
+// before their dependents are type-checked.
 type listedPackage struct {
-	ImportPath string
-	Dir        string
-	GoFiles    []string
+	ImportPath     string
+	Dir            string
+	GoFiles        []string
+	IgnoredGoFiles []string
+	TestGoFiles    []string
+	XTestGoFiles   []string
+	Imports        []string
 }
 
 // ListPatterns expands package patterns (./..., specific import paths) to
 // concrete packages using the go command, which works offline against the
 // module tree.
 func ListPatterns(patterns []string) ([]listedPackage, error) {
-	args := append([]string{"list", "-json=ImportPath,Dir,GoFiles"}, patterns...)
+	args := append([]string{"list", "-json=ImportPath,Dir,GoFiles,IgnoredGoFiles,TestGoFiles,XTestGoFiles,Imports"}, patterns...)
 	cmd := exec.Command("go", args...)
 	var stderr bytes.Buffer
 	cmd.Stderr = &stderr
@@ -150,14 +258,52 @@ func ListPatterns(patterns []string) ([]listedPackage, error) {
 	return pkgs, nil
 }
 
-// LoadPatterns loads every package matching the patterns.
+// dependencyOrder sorts the listed packages so every package follows the
+// packages it imports (within the listed set). Go forbids import cycles,
+// so the DFS terminates; ties keep go list's deterministic order.
+func dependencyOrder(listed []listedPackage) []listedPackage {
+	byPath := make(map[string]*listedPackage, len(listed))
+	for i := range listed {
+		byPath[listed[i].ImportPath] = &listed[i]
+	}
+	seen := make(map[string]bool, len(listed))
+	out := make([]listedPackage, 0, len(listed))
+	var visit func(lp *listedPackage)
+	visit = func(lp *listedPackage) {
+		if seen[lp.ImportPath] {
+			return
+		}
+		seen[lp.ImportPath] = true
+		for _, imp := range lp.Imports {
+			if dep := byPath[imp]; dep != nil {
+				visit(dep)
+			}
+		}
+		out = append(out, *lp)
+	}
+	for i := range listed {
+		visit(&listed[i])
+	}
+	return out
+}
+
+// LoadPatterns loads every package matching the patterns, recording the
+// files `go list` reports but the analysis build excludes. Packages load
+// in dependency order so each one's imports resolve to already-loaded
+// analysis packages (see Loader.ImportFrom).
 func (l *Loader) LoadPatterns(patterns []string) ([]*Package, error) {
 	listed, err := ListPatterns(patterns)
 	if err != nil {
 		return nil, err
 	}
 	var pkgs []*Package
-	for _, lp := range listed {
+	for _, lp := range dependencyOrder(listed) {
+		for _, name := range lp.IgnoredGoFiles {
+			l.skip(lp.Dir, name, "excluded by build constraints (go list IgnoredGoFiles)")
+		}
+		for _, name := range append(append([]string(nil), lp.TestGoFiles...), lp.XTestGoFiles...) {
+			l.skip(lp.Dir, name, "test file (analyzers run on the non-test build)")
+		}
 		p, err := l.LoadFiles(lp.Dir, lp.ImportPath, lp.GoFiles)
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", lp.ImportPath, err)

@@ -1,0 +1,8 @@
+package afix
+
+// Token is the cross-package currency: if the loader hands package b a
+// *different* instance of this type, Implements checks break.
+type Token struct{ V int }
+
+// Wire is satisfied by bfix.Impl only when both sides see the same Token.
+type Wire interface{ Send(t Token) }

@@ -1,0 +1,11 @@
+package bfix
+
+// The import path has no directory in the module tree: it resolves only
+// through the loader's cache of already-loaded analysis packages.
+import afix "pvmigrate/internal/lintfixture/a"
+
+type Impl struct{}
+
+func (Impl) Send(t afix.Token) {}
+
+var _ afix.Wire = Impl{}

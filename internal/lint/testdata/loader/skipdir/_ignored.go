@@ -1,0 +1,4 @@
+package skipfix
+
+// A leading underscore makes the go tool ignore this file entirely.
+func ignored() int { return 4 }

@@ -1,0 +1,7 @@
+//go:build lintfixture_never
+
+package skipfix
+
+// Excluded is behind a build tag the analysis build never sets: the loader
+// must skip it with a recorded reason, not silently.
+func Excluded() int { return 0 }

@@ -1,0 +1,4 @@
+package skipfix
+
+// Keep is ordinary code the loader must include.
+func Keep() int { return 1 }

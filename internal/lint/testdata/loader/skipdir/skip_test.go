@@ -1,0 +1,4 @@
+package skipfix
+
+// Test files are outside the analysis build; the loader records the skip.
+func helper() int { return 3 }

@@ -1,0 +1,9 @@
+// The syscall import type-checks from source without cgo or export data:
+// the hermetic loader resolves it inside GOROOT.
+package sysfix
+
+import "syscall"
+
+const BadArg = syscall.EINVAL
+
+func IsBadArg(err error) bool { return err == BadArg }

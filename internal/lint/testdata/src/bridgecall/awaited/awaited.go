@@ -1,0 +1,25 @@
+// Fixture: the same blocking chain reached only from inside a
+// Kernel.AwaitExternal callback is fully sanctioned — coverage is
+// interprocedural, so the bridge extends to helpers any depth down.
+// AwaitExternal is matched by name, as in the real kernel. Fully silent.
+package awaited
+
+import "os"
+
+type Kernel struct{}
+
+func (k *Kernel) AwaitExternal(f func()) { f() }
+
+func Root(k *Kernel) {
+	k.AwaitExternal(func() {
+		inner()
+	})
+}
+
+func inner() {
+	touch()
+}
+
+func touch() {
+	os.Remove("x")
+}

@@ -1,0 +1,17 @@
+// Fixture: a wall-side entry point audited in cfg.BridgeFuncs may block
+// freely — the audit names the function, not the package, so the
+// unaudited neighbour in the same file is still caught. Loaded with
+// cfg.BridgeFuncs listing only Pump.
+package bridged
+
+import "os"
+
+// Pump is audited in cfg.BridgeFuncs: silent.
+func Pump() {
+	os.Remove("x")
+}
+
+// Leak is not: flagged like any other entry point.
+func Leak() { // want `bridged.Leak reaches blocking host I/O .os.Remove. and has no statically-visible callers`
+	os.Remove("x") // want `bridged.Leak can reach blocking host I/O`
+}

@@ -1,0 +1,28 @@
+// Fixture: blocking host I/O reached from sim-driven code outside any
+// sanction is caught at every frame of the chain — the call that enters
+// the hiding helper, the helper's own call, and the leaf — plus at the
+// declaration of an entry point with no visible callers. A spawned
+// goroutine escapes every callback and must be individually audited.
+package flagged
+
+import "os"
+
+func outer() { // want `flagged.outer reaches blocking host I/O .os.Remove. and has no statically-visible callers`
+	inner() // want `flagged.outer can reach blocking host I/O .os.Remove via flagged.inner. outside Kernel.AwaitExternal`
+}
+
+func inner() {
+	touch() // want `flagged.inner can reach blocking host I/O`
+}
+
+func touch() {
+	os.Remove("x") // want `flagged.touch can reach blocking host I/O .os.Remove. outside Kernel.AwaitExternal`
+}
+
+func spawn() {
+	go drain() // want `goroutine flagged.drain performs blocking host I/O .os.Remove.; audited bridge goroutines must be listed in cfg.BridgeFuncs`
+}
+
+func drain() { // want `flagged.drain reaches blocking host I/O .os.Remove. and has no statically-visible callers`
+	os.Remove("x") // want `flagged.drain can reach blocking host I/O`
+}

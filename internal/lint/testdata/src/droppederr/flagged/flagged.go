@@ -24,3 +24,8 @@ func blankDial(p *sim.Proc, i *netsim.Iface) *netsim.Conn {
 func bareWrite(p *sim.Proc, st *checkpoint.Store) {
 	st.Write(p, "vp1", 1, 1024, nil) // want `error from pvmigrate/internal/checkpoint\.Write dropped on a protocol path`
 }
+
+func staleJustification(p *sim.Proc, c *netsim.Conn) error {
+	// lint:reason fixture: justifies nothing, the error below is propagated // want `stale lint:reason directive`
+	return c.Send(p, 64, nil)
+}

@@ -1,0 +1,30 @@
+// Fixture: error-code hygiene violations — a duplicate declaration, an
+// undocumented code, an inline conversion, and an inline literal at a
+// construction site. codeA is declared once and documented in DOC.md
+// (after a fenced code block, proving fence parity does not desync the
+// table scan), so it stays silent.
+package flagged
+
+import "pvmigrate/internal/errs"
+
+const codeA errs.Code = "fix.a"
+
+const codeDup errs.Code = "fix.a" // want `errs.Code "fix.a" is already declared`
+
+const codeUndoc errs.Code = "fix.undoc" // want `errs.Code "fix.undoc" .* is not documented in`
+
+func bad() error {
+	return errs.Newf(errs.Code("fix.inline"), "boom") // want `inline errs.Code conversion`
+}
+
+func bad2() error {
+	return errs.Newf("fix.lit", "boom") // want `inline error-code literal passed to Newf`
+}
+
+// Package-level initializers are construction sites too: the callgraph
+// only knows function bodies, so this case pins the per-declaration walk.
+var errVarInit = errs.Newf("fix.varlit", "boom") // want `inline error-code literal passed to Newf`
+
+func ok() error {
+	return errs.Newf(codeA, "boom")
+}

@@ -1,0 +1,18 @@
+// Fixture: the same allocating shapes audited with `// lint:alloc` on the
+// finding's line or the line above — and one stale directive, which is
+// itself a finding so audits cannot outlive the code they justified.
+package audited
+
+import "fmt"
+
+type ring struct{ buf []byte }
+
+// Hot is the configured entry point (cfg.AllocHot).
+func Hot(r *ring, n int) {
+	// lint:alloc fixture: warm-up growth, amortized to zero by the gates
+	tmp := make([]byte, n)
+	copy(r.buf, tmp)
+	msg := fmt.Sprintf("n=%d", n) // lint:alloc fixture: failure-path rendering
+	_ = msg
+	_ = n // lint:alloc fixture: audits nothing on this line // want `stale lint:alloc directive`
+}

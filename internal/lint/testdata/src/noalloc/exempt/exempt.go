@@ -1,0 +1,19 @@
+// Fixture: calls into an exempt package (cfg.AllocExempt — structured-error
+// construction) are failure-path escapes: neither the callee's body nor the
+// boxing of its arguments counts against the hot path. Fully silent.
+package exempt
+
+import "pvmigrate/internal/errs"
+
+const codeBad errs.Code = "lintfixture.bad"
+
+type ring struct{ buf []byte }
+
+// Hot is the configured entry point (cfg.AllocHot).
+func Hot(r *ring, n int) error {
+	if n < 0 {
+		return errs.Newf(codeBad, "negative count %d", n)
+	}
+	r.buf = append(r.buf, byte(n))
+	return nil
+}

@@ -1,0 +1,61 @@
+// Fixture: allocating constructs inside functions reachable from the
+// configured hot entry point — directly, through a helper, and through a
+// registered wire encoder. Cold functions may allocate freely. The
+// record/log pair is the boxing case a capacity-preserving buffer rewrite
+// cannot fix: the allocation is the interface conversion itself.
+package flagged
+
+import (
+	"fmt"
+
+	"pvmigrate/internal/wirefmt"
+)
+
+type frame struct{ seq int }
+
+type ring struct {
+	buf   []byte
+	items []frame
+}
+
+type logger interface{ log(v any) }
+
+// Hot is the configured entry point (cfg.AllocHot).
+func Hot(r *ring, n int) {
+	r.buf = append(r.buf, byte(n)) // in-place reassign reuses capacity: silent
+	grow(r, n)
+	var l logger
+	record(l, frame{seq: n})
+}
+
+func grow(r *ring, n int) {
+	tmp := make([]byte, n) // want `grow is on a zero-alloc hot path .reachable from lintfixture.Hot. but calls make, which allocates`
+	copy(r.buf, tmp)
+	r.items = append(r.items[:0], frame{seq: n}) // self-append through a reslice: silent
+	other := append(r.items, frame{seq: n})      // want `appends into a slice it neither reassigns in place nor returns`
+	_ = other
+	msg := fmt.Sprintf("n=%d", n) // want `calls fmt.Sprintf, which allocates`
+	_ = msg
+}
+
+func record(l logger, f frame) {
+	if l != nil {
+		l.log(f) // want `passes a value as an interface argument, which heap-allocates the value`
+	}
+}
+
+func encFrame(dst []byte, v any) ([]byte, error) {
+	scratch := new(frame) // want `encFrame is on a zero-alloc hot path .reachable from wirefmt.Register encoder encFrame. but calls new, which allocates`
+	_ = scratch
+	return append(dst, 0), nil // append-style API return: silent
+}
+
+func decFrame(r *wirefmt.Reader) (any, error) { return nil, nil }
+
+func init() {
+	// Registered encoders are rooted automatically, without a cfg entry.
+	wirefmt.Register(200, "lintfixture.frame", frame{}, encFrame, decFrame)
+}
+
+// cold is not reachable from any hot entry point: it may allocate.
+func cold(n int) []byte { return make([]byte, n) }

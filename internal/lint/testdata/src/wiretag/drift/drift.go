@@ -1,0 +1,17 @@
+// Fixture: the registration is well-formed and golden-covered, but LOCK
+// pins a field shape msgA no longer has — the drift that breaks
+// cross-version migration. Both directions report: the current shape is
+// unpinned, and the pinned shape matches nothing.
+package drift
+
+import "pvmigrate/internal/wirefmt"
+
+type msgA struct{ X int }
+
+func enc(dst []byte, v any) ([]byte, error) { return dst, nil }
+
+func dec(r *wirefmt.Reader) (any, error) { return nil, nil }
+
+func init() {
+	wirefmt.Register(80, "fix.ok", &msgA{}, enc, dec) // want `wire shape drift: .* does not pin` `wire shape drift: .* no longer matches any registration`
+}

@@ -1,0 +1,10 @@
+// Golden fixture (syntactic only): tag 80, keeping the no-golden check
+// silent so the drift findings stand alone.
+package drift
+
+import "testing"
+
+func TestGoldenWireBytes(t *testing.T) {
+	const frame = "50570150000400000002"
+	_ = frame
+}

@@ -1,0 +1,22 @@
+// Fixture: registry violations — a tag outside the package's assigned
+// range (80–89 in the test config), a duplicate tag, a registration with
+// no encoder, and (with no _test.go here) no golden-frame coverage for
+// any of them. The committed LOCK file matches the registrations, so no
+// drift findings mix in.
+package flagged
+
+import "pvmigrate/internal/wirefmt"
+
+type msgA struct{ X int }
+
+type msgB struct{ Y string }
+
+func enc(dst []byte, v any) ([]byte, error) { return dst, nil }
+
+func dec(r *wirefmt.Reader) (any, error) { return nil, nil }
+
+func init() {
+	wirefmt.Register(80, "fix.a", &msgA{}, enc, dec) // want `wire tag 80 .fix.a. has no TestGoldenWireBytes fixture`
+	wirefmt.Register(99, "fix.b", &msgB{}, enc, dec) // want `wire tag 99 .fix.b. is outside .* assigned range 80.89` `wire tag 99 .fix.b. has no TestGoldenWireBytes fixture`
+	wirefmt.Register(80, "fix.c", &msgA{}, nil, dec) // want `wire tag 80 .fix.c. registers no encoder` `wire tag 80 .fix.c. is already registered as fix.a` `wire tag 80 .fix.c. has no TestGoldenWireBytes fixture`
+}

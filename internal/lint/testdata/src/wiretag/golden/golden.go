@@ -1,0 +1,16 @@
+// Fixture: a conforming registration — in range, unique, encoder and
+// decoder present, golden-frame coverage in golden_test.go, shape pinned
+// in LOCK. Fully silent.
+package golden
+
+import "pvmigrate/internal/wirefmt"
+
+type msgA struct{ X int }
+
+func enc(dst []byte, v any) ([]byte, error) { return dst, nil }
+
+func dec(r *wirefmt.Reader) (any, error) { return nil, nil }
+
+func init() {
+	wirefmt.Register(80, "fix.ok", &msgA{}, enc, dec)
+}

@@ -1,0 +1,11 @@
+// Golden fixture: the frame's tag lives at bytes 3–4, little-endian, after
+// the "PW" magic and version byte — 0x50 = tag 80. The analyzer reads this
+// file syntactically; it is never compiled or run.
+package golden
+
+import "testing"
+
+func TestGoldenWireBytes(t *testing.T) {
+	const frame = "50570150000400000002"
+	_ = frame
+}

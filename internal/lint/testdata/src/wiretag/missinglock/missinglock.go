@@ -1,0 +1,16 @@
+// Fixture: a conforming, golden-covered registration whose configured
+// lockfile does not exist — the state every fresh clone of a wire change
+// is in until `-write-wiretags` runs.
+package missinglock
+
+import "pvmigrate/internal/wirefmt"
+
+type msgA struct{ X int }
+
+func enc(dst []byte, v any) ([]byte, error) { return dst, nil }
+
+func dec(r *wirefmt.Reader) (any, error) { return nil, nil }
+
+func init() {
+	wirefmt.Register(80, "fix.ok", &msgA{}, enc, dec) // want `wire shape lockfile .* is missing`
+}

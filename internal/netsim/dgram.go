@@ -98,7 +98,10 @@ func (i *Iface) SendDgram(srcPort int, dst HostID, dstPort int, bytes int, paylo
 		}
 		arrival = lastEnd + i.net.params.Latency
 		if w := i.net.wire; w != nil {
-			t, err := w.SendDgram(i.host, srcPort, dst, dstPort, payload)
+			var t uint64
+			var err error
+			// The real write is host I/O; bridge it at virtual send time.
+			k.AwaitExternal(func() { t, err = w.SendDgram(i.host, srcPort, dst, dstPort, payload) })
 			if err != nil {
 				// A payload the codec cannot marshal is a protocol bug,
 				// exactly what the wire backend exists to surface.

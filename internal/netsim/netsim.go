@@ -148,7 +148,8 @@ func (n *Network) Attach(h HostID) *Iface {
 	}
 	n.ifaces[h] = i
 	if n.wire != nil {
-		n.wire.AttachHost(h)
+		// Socket binding is host I/O: bridge it so virtual time stays frozen.
+		n.k.AwaitExternal(func() { n.wire.AttachHost(h) })
 	}
 	return i
 }

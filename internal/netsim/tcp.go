@@ -58,8 +58,10 @@ func (i *Iface) Listen(port int) (*Listener, error) {
 		return nil, fmt.Errorf("%w: host %d port %d", ErrPortInUse, i.host, port)
 	}
 	if w := i.net.wire; w != nil {
-		if err := w.Listen(i.host, port); err != nil {
-			return nil, fmt.Errorf("%w: wire: %v", ErrPortInUse, err)
+		var werr error
+		i.net.k.AwaitExternal(func() { werr = w.Listen(i.host, port) })
+		if werr != nil {
+			return nil, fmt.Errorf("%w: wire: %v", ErrPortInUse, werr)
 		}
 	}
 	l := &Listener{
@@ -92,7 +94,7 @@ func (l *Listener) Close() {
 	l.closed = true
 	delete(l.iface.listeners, l.port)
 	if w := l.iface.net.wire; w != nil {
-		w.CloseListen(l.iface.host, l.port)
+		l.iface.net.k.AwaitExternal(func() { w.CloseListen(l.iface.host, l.port) })
 	}
 	l.pending.Close()
 }
@@ -156,8 +158,10 @@ func (i *Iface) Dial(p *sim.Proc, dst HostID, port int) (*Conn, error) {
 	}
 	if !l.pending.TryPut(server) {
 		if client.wire != nil {
-			client.wire.Close()
-			server.wire.Close()
+			k.AwaitExternal(func() {
+				client.wire.Close()
+				server.wire.Close()
+			})
 		}
 		return nil, ErrConnRefused
 	}
@@ -221,8 +225,10 @@ func (c *Conn) Send(p *sim.Proc, bytes int, payload any) error {
 		// redeems the frame by sequence number at delivery time.
 		seq := c.wireSeq
 		c.wireSeq++
-		if err := c.wire.Send(seq, seg.Payload); err != nil {
-			return fmt.Errorf("%w: wire: %v", ErrConnClosed, err)
+		var werr error
+		c.net.k.AwaitExternal(func() { werr = c.wire.Send(seq, seg.Payload) })
+		if werr != nil {
+			return fmt.Errorf("%w: wire: %v", ErrConnClosed, werr)
 		}
 		pw := peer.wire
 		c.net.k.ScheduleAt(arrival, func() {
@@ -290,8 +296,10 @@ func (c *Conn) Close() {
 		}
 		cw, pw := c.wire, peer.wire
 		c.net.k.ScheduleAt(drainAt, func() {
-			cw.Close()
-			pw.Close()
+			c.net.k.AwaitExternal(func() {
+				cw.Close()
+				pw.Close()
+			})
 		})
 	}
 	if c.lastArrival > c.net.k.Now() {

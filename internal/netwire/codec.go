@@ -77,9 +77,11 @@ func init() {
 // the default slot.
 func (GobCodec) AppendEncode(dst []byte, payload any) ([]byte, error) {
 	var out bytes.Buffer
+	// lint:alloc legacy gob codec allocates by design; BinaryCodec is the zero-alloc default
 	if err := gob.NewEncoder(&out).Encode(&envelope{V: payload}); err != nil {
-		return dst, fmt.Errorf("netwire: encode %T: %w", payload, err)
+		return dst, fmt.Errorf("netwire: encode %T: %w", payload, err) // lint:alloc error path, after encode already failed
 	}
+	// lint:alloc legacy gob codec allocates by design; BinaryCodec is the zero-alloc default
 	return append(dst, out.Bytes()...), nil
 }
 

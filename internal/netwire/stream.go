@@ -206,12 +206,12 @@ func (s *stream) Send(seq uint64, payload any) error {
 	}
 	s.b.encScratch = data[:0] // retain grown capacity for the next frame
 	if len(data) > maxFrame {
-		return fmt.Errorf("netwire: frame seq %d: %d bytes exceeds maxFrame", seq, len(data))
+		return fmt.Errorf("netwire: frame seq %d: %d bytes exceeds maxFrame", seq, len(data)) // lint:alloc error path, oversized frame
 	}
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
-		return fmt.Errorf("netwire: send seq %d on closed stream", seq)
+		return fmt.Errorf("netwire: send seq %d on closed stream", seq) // lint:alloc error path, stream already torn down
 	}
 	s.mu.Unlock()
 
@@ -221,7 +221,7 @@ func (s *stream) Send(seq uint64, payload any) error {
 	s.iov = append(s.iov[:0], s.hdr[:], data)
 	s.conn.SetWriteDeadline(time.Now().Add(wireTimeout))
 	if _, err := s.iov.WriteTo(s.conn); err != nil {
-		return fmt.Errorf("netwire: send seq %d: %w", seq, err)
+		return fmt.Errorf("netwire: send seq %d: %w", seq, err) // lint:alloc error path, after the write already failed
 	}
 	s.conn.SetWriteDeadline(time.Time{})
 

@@ -136,6 +136,7 @@ func (k *Kernel) Stop() { k.stopped = true }
 // heapPush inserts e, sifting up with the hole-propagation idiom: parents
 // move down until e's slot is found, then e is written once.
 func (k *Kernel) heapPush(e event) {
+	// lint:alloc amortized heap growth; steady state reuses capacity (BenchmarkKernelScheduleDispatch measures 0 allocs/op)
 	h := append(k.events, event{})
 	i := len(h) - 1
 	for i > 0 {
@@ -313,7 +314,7 @@ func (k *Kernel) dispatch(p *Proc) {
 	<-p.hand
 	k.running = nil
 	if p.panicked != nil {
-		panic(fmt.Sprintf("sim: proc %q panicked: %v", p.name, p.panicked))
+		panic(fmt.Sprintf("sim: proc %q panicked: %v", p.name, p.panicked)) // lint:alloc panic path, simulation is already dead
 	}
 	if p.state == pDone {
 		p.doneCond.Broadcast()

@@ -1,0 +1,30 @@
+#!/usr/bin/env sh
+# Fails when the wire registries have drifted from the committed
+# wiretags.lock shape pin (or violate the tag-band/golden-coverage rules).
+# Run from the repository root; CI runs it as its own named step so a wire
+# drift is never buried inside a generic lint failure.
+set -u
+
+out=$(go run ./cmd/pvmlint -analyzers wiretag ./... 2>&1)
+status=$?
+if [ "$status" -eq 0 ]; then
+    echo "wiretags: registries match wiretags.lock"
+    exit 0
+fi
+
+echo "$out"
+cat >&2 <<'EOF'
+
+wiretags: the wire registries no longer match the committed wiretags.lock.
+
+If this shape change is intentional, bump the wire version: increment the
+format version byte in internal/wirefmt, re-golden TestGoldenWireBytes,
+then regenerate and commit the lock alongside the code change:
+
+    go run ./cmd/pvmlint -write-wiretags
+
+If it is not intentional, you have silently re-encoded every peer's frames
+(a reordered struct field changes the bytes without failing any test) —
+revert the shape change.
+EOF
+exit "$status"
