@@ -10,6 +10,7 @@
 //	pvmsim -system upvm -hosts 3 -slaves 3 -mb 1.2
 //	pvmsim -system ft -hosts 8 -slaves 15 -crashes 3 -trace
 //	pvmsim -system mpvm -migrate-at 8s -wire
+//	pvmsim -system fleet -hosts 1000 -vps 100000 -shards 8 -storms 200
 package main
 
 import (
@@ -18,12 +19,13 @@ import (
 	"os"
 	"time"
 
+	"pvmigrate/internal/gs"
 	"pvmigrate/internal/harness"
 	"pvmigrate/internal/netwire"
 )
 
 func main() {
-	system := flag.String("system", "pvm", "pvm | mpvm | upvm | adm | ft")
+	system := flag.String("system", "pvm", "pvm | mpvm | upvm | adm | ft | fleet")
 	mb := flag.Float64("mb", 0.6, "training-set size in MB")
 	hosts := flag.Int("hosts", 2, "workstation count")
 	slaves := flag.Int("slaves", 0, "slave VP count (default: one per host)")
@@ -39,7 +41,21 @@ func main() {
 	crashTo := flag.Duration("crash-to", 0, "ft: latest crash time (default 30s; short runs may finish before crashes land)")
 	wire := flag.Bool("wire", false, "carry every cross-host payload over real loopback sockets (internal/netwire); timing stays the simulated cost model's")
 	wirecodec := flag.String("wirecodec", "binary", "wire payload codec: binary (versioned zero-alloc wirefmt frames) or gob (legacy)")
+	vps := flag.Int("vps", 0, "fleet: work-unit count (default 100000)")
+	shards := flag.Int("shards", 0, "fleet: scheduler shard count (default 8; 1 = centralized)")
+	duration := flag.Duration("duration", 0, "fleet: simulated run length (default 10m)")
+	storms := flag.Int("storms", 0, "fleet: owner-reclaim arrivals to inject (default hosts/5)")
+	placement := flag.String("placement", "", "fleet: destination policy: least-loaded | first-fit | dest-swap")
 	flag.Parse()
+
+	if *system == "fleet" {
+		runFleet(harness.FleetScenario{
+			Hosts: fleetHosts(*hosts), VPs: *vps, Shards: *shards,
+			Seed: *seed, Duration: *duration, Storms: *storms,
+			Placement: *placement,
+		})
+		return
+	}
 
 	if *system == "ft" {
 		runFT(ftConfig{hosts: *hosts, slaves: *slaves, mb: *mb, iters: *iters,
@@ -133,6 +149,39 @@ func main() {
 		fmt.Println()
 		fmt.Print(timeline)
 	}
+}
+
+// fleetHosts keeps the shared -hosts flag's small default from shrinking
+// the fleet scenario: unless -hosts was given explicitly, the fleet uses
+// its own 1000-host default.
+func fleetHosts(hosts int) int {
+	explicit := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "hosts" {
+			explicit = true
+		}
+	})
+	if explicit {
+		return hosts
+	}
+	return 0
+}
+
+// runFleet runs the fleet-scale scheduling scenario and prints its
+// outcome summary.
+func runFleet(sc harness.FleetScenario) {
+	if sc.Placement != "" && gs.PlacementByName(sc.Placement) == nil {
+		fmt.Fprintf(os.Stderr, "pvmsim: unknown -placement %q (want least-loaded, first-fit or dest-swap)\n", sc.Placement)
+		os.Exit(2)
+	}
+	out := harness.RunFleet(sc)
+	sc = sc.WithDefaults()
+	fmt.Printf("system: fleet, %d hosts, %d work units, %d shards, seed %d\n",
+		sc.Hosts, out.FinalTotal, sc.Shards, sc.Seed)
+	fmt.Printf("decisions: %d (%d rebalance moves, %d owner evacuations), %d units displaced\n",
+		out.Decisions, out.Moves, out.Evacuations, out.UnitsMoved)
+	fmt.Printf("final load: min %d, max %d across hosts\n", out.FinalMinLoad, out.FinalMaxLoad)
+	fmt.Printf("kernel events: %d, decision fingerprint: %#016x\n", out.Events, out.Fingerprint)
 }
 
 type ftConfig struct {

@@ -22,7 +22,9 @@ import (
 	"math"
 	"time"
 
+	"pvmigrate/internal/adm"
 	"pvmigrate/internal/cluster"
+	"pvmigrate/internal/core"
 	"pvmigrate/internal/ft"
 	"pvmigrate/internal/gs"
 	"pvmigrate/internal/mpvm"
@@ -78,6 +80,13 @@ type Scenario struct {
 	// kernel tie-break stream), so correlated instants — a crash offset
 	// from the reclaim it races — stay correlated as the seed sweeps.
 	Build func(cfg Config, rng *sim.RNG) ([]ft.Fault, []OwnerChange)
+	// ADMSignals, when non-nil, enables the ADM overlay: an ADMopt job
+	// (master on host 0, one slave per other host) runs alongside the ft
+	// job, and the returned signals are delivered to its slaves — data
+	// redistribution racing the VP migrations the owner changes trigger.
+	// It draws from the same timing stream as Build, after it, so its
+	// instants stay correlated with the fault schedule across a sweep.
+	ADMSignals func(cfg Config, rng *sim.RNG, owners []OwnerChange) []ADMSignal
 }
 
 // OwnerChange flips a host's owner-active state at a virtual instant.
@@ -85,6 +94,15 @@ type OwnerChange struct {
 	At     sim.Time
 	Host   int
 	Active bool
+}
+
+// ADMSignal delivers a migration event to an ADM overlay slave at a
+// virtual instant ("withdraw" or "rebalance").
+type ADMSignal struct {
+	At     sim.Time
+	Slave  int
+	Kind   string
+	Reason core.MigrationReason
 }
 
 // Result is one explored schedule plus the handles the checkers audit.
@@ -106,6 +124,13 @@ type Result struct {
 	Sched *gs.Scheduler
 	Log   *trace.Log
 
+	// ADM overlay outcome (ADMActive only when the scenario enables it).
+	ADMActive bool
+	ADMDone   bool
+	ADMErr    error
+	ADMLoss   float64
+	ADMMoves  int
+
 	// Faults actually installed (time-ordered), for failure reports.
 	Faults []ft.Fault
 }
@@ -121,6 +146,9 @@ type Fingerprint struct {
 	Migrations int
 	Recoveries int
 	Commits    string
+	ADMDone    bool
+	ADMMoves   int
+	ADMLoss    uint64
 }
 
 // Fingerprint builds the run's determinism fingerprint.
@@ -137,6 +165,9 @@ func (r *Result) Fingerprint() Fingerprint {
 		Migrations: len(r.Sys.Records()),
 		Recoveries: len(r.Mgr.Records()),
 		Commits:    commits,
+		ADMDone:    r.ADMDone,
+		ADMMoves:   r.ADMMoves,
+		ADMLoss:    math.Float64bits(r.ADMLoss),
 	}
 }
 
@@ -174,8 +205,13 @@ func Run(sc Scenario, cfg Config) *Result {
 
 	var faults []ft.Fault
 	var owners []OwnerChange
+	var admSignals []ADMSignal
+	rng := faultRNG(cfg.Seed)
 	if sc.Build != nil {
-		faults, owners = sc.Build(cfg, faultRNG(cfg.Seed))
+		faults, owners = sc.Build(cfg, rng)
+	}
+	if sc.ADMSignals != nil {
+		admSignals = sc.ADMSignals(cfg, rng, owners)
 	}
 	inj := ft.NewInjector(m, log)
 	inj.OnFault(mgr.ObserveFault)
@@ -202,6 +238,11 @@ func Run(sc Scenario, cfg Config) *Result {
 			lastEvent = oc.At
 		}
 	}
+	for _, as := range admSignals {
+		if as.At > lastEvent {
+			lastEvent = as.At
+		}
+	}
 	settleUntil := lastEvent + 3*mgr.Config().SuspectAfter
 
 	res := &Result{Scenario: sc.Name, Seed: cfg.Seed,
@@ -223,6 +264,21 @@ func Run(sc Scenario, cfg Config) *Result {
 	} else {
 		opts.TotalBytes = 400_000
 	}
+	// The run stops only when every enabled job has finished (plus the
+	// settle tail), so an ADM overlay still mid-redistribution keeps the
+	// kernel alive.
+	res.ADMActive = sc.ADMSignals != nil
+	ftDone, admDone := false, !res.ADMActive
+	tryStop := func() {
+		if !ftDone || !admDone {
+			return
+		}
+		stopAt := k.Now() + 2*time.Second
+		if settleUntil > stopAt {
+			stopAt = settleUntil
+		}
+		k.ScheduleAt(stopAt, func() { k.Stop() })
+	}
 	slaveHosts := make([]int, 0, 2*(cfg.Hosts-1))
 	for round := 0; round < 2; round++ {
 		for h := 1; h < cfg.Hosts; h++ {
@@ -234,11 +290,8 @@ func Run(sc Scenario, cfg Config) *Result {
 		MasterHost: 0,
 		SlaveHosts: slaveHosts,
 		OnFinish: func(out *ft.JobResult) {
-			stopAt := k.Now() + 2*time.Second
-			if settleUntil > stopAt {
-				stopAt = settleUntil
-			}
-			k.ScheduleAt(stopAt, func() { k.Stop() })
+			ftDone = true
+			tryStop()
 		},
 	})
 	if err != nil {
@@ -246,6 +299,15 @@ func Run(sc Scenario, cfg Config) *Result {
 		return res
 	}
 	res.Job = job
+	if res.ADMActive {
+		if err := startADMOverlay(k, m, cfg, res, admSignals, func() {
+			admDone = true
+			tryStop()
+		}); err != nil {
+			res.Err = err
+			return res
+		}
+	}
 	sched.Start()
 	k.RunUntil(cfg.Deadline)
 
@@ -261,6 +323,67 @@ func Run(sc Scenario, cfg Config) *Result {
 		res.Err = fmt.Errorf("chaos: job not finished by deadline %v", cfg.Deadline)
 	}
 	return res
+}
+
+// startADMOverlay spawns the ADM job beside the ft job: master on host 0,
+// one slave per other host (slave i on host i+1, so owner changes map to
+// slave ranks directly), and schedules the scenario's migration signals.
+// The overlay always runs the cost model — its determinism pin is the
+// fingerprint's move count and loss bits, and cost-model losses are as
+// bit-stable as real ones.
+func startADMOverlay(k *sim.Kernel, m *pvm.Machine, cfg Config, res *Result,
+	signals []ADMSignal, onDone func()) error {
+	nSlaves := cfg.Hosts - 1
+	stats := &opt.ADMStats{}
+	ap := opt.ADMParams{
+		Params: opt.Params{Iterations: cfg.Iterations, TotalBytes: 200_000},
+		Stats:  stats,
+	}
+	tids := make([]core.TID, nSlaves)
+	queues := make([]*adm.EventQueue, nSlaves)
+	// The master spawns first so its tid exists for the slaves; its body
+	// reads tids, which is fully populated before the kernel runs.
+	master, err := m.Spawn(0, "adm-master", func(t *pvm.Task) {
+		out, err := opt.RunADMMaster(t, tids, ap)
+		res.ADMDone = true
+		res.ADMErr = err
+		if out != nil {
+			res.ADMLoss = out.FinalLoss
+		}
+		res.ADMMoves = len(stats.Records) + stats.Redistributions
+		onDone()
+	})
+	if err != nil {
+		return err
+	}
+	masterTID := master.Mytid()
+	slaveTasks := make([]*pvm.Task, nSlaves)
+	for i := 0; i < nSlaves; i++ {
+		i := i
+		t, err := m.Spawn(i+1, fmt.Sprintf("adm-slave%d", i), func(t *pvm.Task) {
+			queues[i] = adm.Attach(t)
+			if err := opt.RunADMSlave(t, masterTID, i, tids, queues[i], ap); err != nil && res.ADMErr == nil {
+				res.ADMErr = err
+			}
+		})
+		if err != nil {
+			return err
+		}
+		slaveTasks[i] = t
+		tids[i] = t.Mytid()
+	}
+	for _, s := range signals {
+		s := s
+		if s.Slave < 0 || s.Slave >= nSlaves {
+			continue
+		}
+		k.ScheduleAt(s.At, func() {
+			if t := slaveTasks[s.Slave]; !t.Exited() {
+				adm.Signal(t, adm.Event{Kind: s.Kind, Reason: s.Reason})
+			}
+		})
+	}
+	return nil
 }
 
 // slaveCount returns how many slave VPs Run spawns for cfg.

@@ -175,6 +175,39 @@ func TestSplitBrainReapsOrphansAndReadmits(t *testing.T) {
 	}
 }
 
+// TestADMRedistributionRacesMigration pins the acceptance shape of the ADM
+// scenario across a seed range: the overlay's data redistribution must
+// actually overlap the reclaim evacuation's VP migrations in some seeds
+// (both mechanisms fire in the same run), and training results must be
+// unaffected — the overlay finishes every iteration with the same loss no
+// matter where the withdraw lands in the migration window.
+func TestADMRedistributionRacesMigration(t *testing.T) {
+	seeds := 20
+	if testing.Short() {
+		seeds = 8
+	}
+	sawRace := false
+	var loss float64
+	for seed := 0; seed < seeds; seed++ {
+		res := audit(t, ADMRedistributionRacingMigration, uint64(seed), false)
+		if t.Failed() {
+			t.Fatalf("seed %d failed audit", seed)
+		}
+		if res.ADMMoves > 0 && len(res.Sys.Records()) > 0 {
+			sawRace = true
+		}
+		if seed == 0 {
+			loss = res.ADMLoss
+		} else if res.ADMLoss != loss {
+			t.Fatalf("seed %d: ADM final loss %g != %g — redistribution timing changed training results",
+				seed, res.ADMLoss, loss)
+		}
+	}
+	if !sawRace {
+		t.Error("no seed in the range ever ran a redistribution concurrent with a migration")
+	}
+}
+
 // TestTieBreakChangesSchedules sanity-checks the explorer itself: different
 // seeds must actually produce different schedules (otherwise the sweep is
 // 200 copies of one interleaving).

@@ -48,6 +48,14 @@ func checkLiveness(r *Result) error {
 	if !r.Done {
 		return fmt.Errorf("job did not finish")
 	}
+	if r.ADMActive {
+		if r.ADMErr != nil {
+			return fmt.Errorf("ADM overlay error: %v", r.ADMErr)
+		}
+		if !r.ADMDone {
+			return fmt.Errorf("ADM overlay did not finish")
+		}
+	}
 	return nil
 }
 

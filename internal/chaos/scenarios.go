@@ -3,12 +3,13 @@ package chaos
 import (
 	"time"
 
+	"pvmigrate/internal/core"
 	"pvmigrate/internal/ft"
 	"pvmigrate/internal/netsim"
 	"pvmigrate/internal/sim"
 )
 
-// The three scenarios from the hardening roadmap. Each draws its fault
+// The scenarios from the hardening roadmap. Each draws its fault
 // instants from the seed's timing stream, so a seed sweep slides them across
 // the protocol windows they race with: heartbeat detection (~2 s), the
 // stage-2 flush barrier (ms), skeleton start (780 ms), state transfer
@@ -98,8 +99,49 @@ var SplitBrainRejoin = Scenario{
 	},
 }
 
+// ADMRedistributionRacingMigration runs an ADM overlay beside the ft job
+// and races the two reactions to the same owner arrival: the GS evacuates
+// the reclaimed host's VPs through the MPVM migration protocol while the
+// ADM application redistributes that host's data share through its own
+// withdraw protocol. The withdraw offset sweeps from before the reclaim
+// (redistribution already draining the host when evacuation starts) to
+// well after (evacuation's migrations mid-flight when the redistribution
+// barrier runs); a seeded rebalance on a second slave adds the repartition
+// path to the interleaving.
+var ADMRedistributionRacingMigration = Scenario{
+	Name: "adm-redistribution-racing-migration",
+	Build: func(cfg Config, rng *sim.RNG) ([]ft.Fault, []OwnerChange) {
+		reclaimAt := within(rng, 4*time.Second, 9*time.Second)
+		reclaimed := pickHost(rng, cfg.Hosts, -1)
+		owners := []OwnerChange{
+			{At: reclaimAt, Host: reclaimed, Active: true},
+			{At: reclaimAt + 20*time.Second, Host: reclaimed, Active: false},
+		}
+		return nil, owners
+	},
+	ADMSignals: func(cfg Config, rng *sim.RNG, owners []OwnerChange) []ADMSignal {
+		reclaim := owners[0]
+		// Slave i lives on host i+1, so the reclaimed host's ADM share is
+		// slave reclaimed-1. The withdraw sweeps across the evacuation arc.
+		withdrawAt := reclaim.At + within(rng, -2*time.Second, 4*time.Second)
+		if withdrawAt < time.Second {
+			withdrawAt = time.Second
+		}
+		signals := []ADMSignal{{
+			At: withdrawAt, Slave: reclaim.Host - 1,
+			Kind: "withdraw", Reason: core.ReasonOwnerReclaim,
+		}}
+		other := pickHost(rng, cfg.Hosts, reclaim.Host)
+		signals = append(signals, ADMSignal{
+			At: withdrawAt + within(rng, 0, 3*time.Second), Slave: other - 1,
+			Kind: "rebalance", Reason: core.ReasonHighLoad,
+		})
+		return signals
+	},
+}
+
 // Scenarios is the sweep set, in the order the roadmap names them.
-var Scenarios = []Scenario{ReclaimDuringRollback, CrashDuringEvacuation, SplitBrainRejoin}
+var Scenarios = []Scenario{ReclaimDuringRollback, CrashDuringEvacuation, SplitBrainRejoin, ADMRedistributionRacingMigration}
 
 // ScenarioByName returns the named scenario, or false.
 func ScenarioByName(name string) (Scenario, bool) {

@@ -10,26 +10,97 @@ import (
 // ADMTarget adapts an ADM application to the scheduler: the scheduler's
 // orders become application-level signals ("withdraw" / "rebalance"), and
 // the application responds by moving data rather than processes. Load here
-// is data shares, not VPs.
+// is data shares, not VPs. Shares live in an incremental LoadIndex:
+// slaves never change hosts (their data does), so the index updates on
+// share changes (NoteShare/Resync, pushed by the application after a
+// repartition) and on slave exits (via the task exit hook), making
+// HostLoad O(1) instead of a rescan over every slave.
 type ADMTarget struct {
 	// slaves maps slave rank → its task.
 	slaves []*pvm.Task
 	// share reports the current exemplar share of a slave (the application
-	// exposes it; for simple uses, a fixed closure works).
+	// exposes it; for simple uses, a fixed closure works). Resync pulls it.
 	share func(rank int) int
+	idx   *LoadIndex
+	// cur is the share currently counted per rank (0 once the slave exits).
+	cur []int
 }
 
 // NewADMTarget wraps an ADM application's slave tasks. share reports each
 // slave's current data share for load accounting (nil means "1 each").
+// After the application repartitions, push the new shares with NoteShare
+// or Resync; exits are observed automatically.
 func NewADMTarget(slaves []*pvm.Task, share func(rank int) int) *ADMTarget {
 	if share == nil {
 		share = func(int) int { return 1 }
 	}
-	return &ADMTarget{slaves: slaves, share: share}
+	hosts := 0
+	for _, task := range slaves {
+		if task != nil && int(task.Host().ID()) >= hosts {
+			hosts = int(task.Host().ID()) + 1
+		}
+	}
+	t := &ADMTarget{
+		slaves: slaves,
+		share:  share,
+		idx:    NewLoadIndex(hosts),
+		cur:    make([]int, len(slaves)),
+	}
+	for rank, task := range slaves {
+		if task == nil {
+			continue
+		}
+		if !task.Exited() {
+			t.cur[rank] = share(rank)
+			t.idx.Add(int(task.Host().ID()), t.cur[rank])
+		}
+		rank := rank
+		task.OnExit(func(*pvm.Task) { t.noteSlaveExit(rank) })
+	}
+	return t
 }
 
-// HostLoad sums tracked data shares on the host.
-func (t *ADMTarget) HostLoad(host int) int {
+// Index exposes the incremental load table (IndexedTarget).
+func (t *ADMTarget) Index() *LoadIndex { return t.idx }
+
+func (t *ADMTarget) noteSlaveExit(rank int) {
+	if t.cur[rank] != 0 {
+		t.idx.Add(int(t.slaves[rank].Host().ID()), -t.cur[rank])
+		t.cur[rank] = 0
+	}
+}
+
+// NoteShare updates the indexed data share of one slave after the
+// application repartitioned.
+func (t *ADMTarget) NoteShare(rank, share int) {
+	if rank < 0 || rank >= len(t.slaves) {
+		return
+	}
+	task := t.slaves[rank]
+	if task == nil || task.Exited() {
+		return
+	}
+	t.idx.Add(int(task.Host().ID()), share-t.cur[rank])
+	t.cur[rank] = share
+}
+
+// Resync pulls the current share of every live slave through the share
+// callback — a bulk NoteShare after a repartition the application did not
+// announce rank by rank.
+func (t *ADMTarget) Resync() {
+	for rank := range t.slaves {
+		if task := t.slaves[rank]; task != nil && !task.Exited() {
+			t.NoteShare(rank, t.share(rank))
+		}
+	}
+}
+
+// HostLoad reports tracked data shares on the host from the load index.
+func (t *ADMTarget) HostLoad(host int) int { return t.idx.Load(host) }
+
+// bruteHostLoad recounts by rescanning every slave — the pre-index
+// algorithm, kept as the oracle for the index cross-check test.
+func (t *ADMTarget) bruteHostLoad(host int) int {
 	n := 0
 	for rank, task := range t.slaves {
 		if task != nil && !task.Exited() && int(task.Host().ID()) == host {

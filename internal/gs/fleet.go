@@ -1,0 +1,566 @@
+package gs
+
+import (
+	"time"
+
+	"pvmigrate/internal/cluster"
+	"pvmigrate/internal/core"
+	"pvmigrate/internal/sim"
+	"pvmigrate/internal/wirefmt"
+)
+
+// IndexedTarget is a Target whose HostLoad is served by an incremental
+// LoadIndex (all targets in this package are). Fleet components and
+// benchmarks use the index for O(1) load reads and change stamps.
+type IndexedTarget interface {
+	Target
+	Index() *LoadIndex
+}
+
+// LoadSource selects what "load" means to the fleet scheduler's
+// rebalancing policy.
+type LoadSource int
+
+const (
+	// SourceRunQueue drives decisions from host run-queue lengths — the
+	// paper's 1994 policy, and bit-for-bit the centralized Scheduler's
+	// selection when the fleet runs with one shard and BeatEvery 1.
+	SourceRunQueue LoadSource = iota
+	// SourceWorkUnits drives decisions from the work-unit load index
+	// through the pluggable Placement policy — the fleet-scale mode,
+	// where run-queue sampling across thousands of hosts is replaced by
+	// index buckets.
+	SourceWorkUnits
+)
+
+// FleetPolicy configures the sharded fleet scheduler.
+type FleetPolicy struct {
+	// Shards partitions the hosts into contiguous shards (clamped to
+	// [1, hosts]). One shard reproduces the centralized scheduler.
+	Shards int
+	// PollInterval is the tick cadence (default 5s, like the GS).
+	PollInterval sim.Time
+	// LoadThreshold gates rebalancing exactly as Policy.LoadThreshold
+	// does; ticks only run when it is > 0.
+	LoadThreshold int
+	// ReclaimOnOwner evacuates a host the moment its owner returns.
+	ReclaimOnOwner bool
+	// Source picks the load signal (run queues or work units).
+	Source LoadSource
+	// Placement picks destinations in SourceWorkUnits mode (default
+	// LeastLoaded).
+	Placement Placement
+	// MovesPerTick is each shard's per-tick actuation budget (default 1,
+	// the centralized scheduler's one-move-per-poll; fleet scenarios
+	// raise it so a hotspot drains in bounded ticks).
+	MovesPerTick int
+	// BeatEvery coalesces member state into one shard beat every N ticks
+	// (default 1: every tick).
+	BeatEvery int
+	// GossipEvery runs a gossip round every N ticks (default 1).
+	GossipEvery int
+	// GossipPeers is how many seeded-random peers each shard pushes its
+	// load vector to per round (default 2).
+	GossipPeers int
+	// GossipStaleness bounds how many epochs old a remote load vector
+	// may be and still steer a cross-shard move (default 3).
+	GossipStaleness uint64
+	// Seed derives every shard's deterministic peer-selection and
+	// placement-probe stream.
+	Seed uint64
+}
+
+// DefaultFleetPolicy mirrors DefaultPolicy and fills in fleet defaults.
+func DefaultFleetPolicy() FleetPolicy {
+	return FleetPolicy{
+		Shards:          1,
+		PollInterval:    5 * time.Second,
+		ReclaimOnOwner:  true,
+		Source:          SourceRunQueue,
+		Placement:       LeastLoaded{},
+		MovesPerTick:    1,
+		BeatEvery:       1,
+		GossipEvery:     1,
+		GossipPeers:     2,
+		GossipStaleness: 3,
+	}
+}
+
+// fleetShard is one shard's local scheduler state: the members' applied
+// beat state (loads, run queues, flags), the shard's seeded RNG, its
+// outbound beat and gossip vector scratch, and the freshest load vector
+// received from every other shard.
+type fleetShard struct {
+	id   int
+	base int // first global host id
+	n    int // member count; slot s ↔ host base+s
+
+	rng *sim.RNG
+
+	// Applied beat state, slot-indexed.
+	view    *LoadIndex
+	runq    []int
+	flags   []byte // bit0 alive, bit1 owner-active
+	elig    []bool // receiver eligibility: alive && owner-free
+	donorOK []bool // donor eligibility: alive
+	pv      ShardView
+
+	beat     *ShardBeat
+	seq      uint64
+	needFull bool
+
+	vec    LoadVector
+	remote []LoadVector // freshest vector per source shard; Epoch 0 = none
+}
+
+// Fleet is the sharded fleet scheduler: hosts partition into shards, each
+// aggregating one coalesced beat per interval and planning its own moves
+// from an incremental load view; a thin root actuates the plans and
+// resolves cross-shard moves steered by gossiped load vectors. All
+// decisions are a pure function of (cluster history, policy, seed).
+type Fleet struct {
+	cl     *cluster.Cluster
+	k      *sim.Kernel
+	target Target
+	pol    FleetPolicy
+
+	hosts  []*cluster.Host
+	shards []*fleetShard
+
+	decisions []Decision
+	stopped   bool
+	tickNo    uint64
+	epoch     uint64
+	scratch   []byte
+	tickFn    func()
+}
+
+// NewFleet creates a fleet scheduler over the cluster driving target.
+func NewFleet(cl *cluster.Cluster, target Target, pol FleetPolicy) *Fleet {
+	hosts := cl.Hosts()
+	if pol.PollInterval == 0 {
+		pol.PollInterval = 5 * time.Second
+	}
+	if pol.Shards < 1 {
+		pol.Shards = 1
+	}
+	if pol.Shards > len(hosts) {
+		pol.Shards = len(hosts)
+	}
+	if pol.Placement == nil {
+		pol.Placement = LeastLoaded{}
+	}
+	if pol.MovesPerTick < 1 {
+		pol.MovesPerTick = 1
+	}
+	if pol.BeatEvery < 1 {
+		pol.BeatEvery = 1
+	}
+	if pol.GossipEvery < 1 {
+		pol.GossipEvery = 1
+	}
+	if pol.GossipPeers < 1 {
+		pol.GossipPeers = 2
+	}
+	if pol.GossipStaleness < 1 {
+		pol.GossipStaleness = 3
+	}
+	f := &Fleet{cl: cl, k: cl.Kernel(), target: target, pol: pol, hosts: hosts}
+	f.tickFn = f.tick
+	nsh := pol.Shards
+	per, extra := len(hosts)/nsh, len(hosts)%nsh
+	base := 0
+	for id := 0; id < nsh; id++ {
+		n := per
+		if id < extra {
+			n++
+		}
+		s := &fleetShard{
+			id: id, base: base, n: n,
+			rng:      sim.NewRNG(pol.Seed ^ (0x9e3779b97f4a7c15 * uint64(id+1))),
+			view:     NewLoadIndex(n),
+			runq:     make([]int, n),
+			flags:    make([]byte, n),
+			elig:     make([]bool, n),
+			donorOK:  make([]bool, n),
+			beat:     &ShardBeat{},
+			needFull: true,
+			remote:   make([]LoadVector, nsh),
+		}
+		s.pv = ShardView{Index: s.view, Elig: s.elig}
+		f.shards = append(f.shards, s)
+		base += n
+	}
+	return f
+}
+
+// Decisions returns the log of actions taken.
+func (f *Fleet) Decisions() []Decision { return f.decisions }
+
+// ResetDecisions truncates the decision log keeping its capacity (bench
+// warmup support).
+func (f *Fleet) ResetDecisions() { f.decisions = f.decisions[:0] }
+
+// Shards reports the shard count after clamping.
+func (f *Fleet) Shards() int { return len(f.shards) }
+
+// Stop halts future ticks and reactions.
+func (f *Fleet) Stop() { f.stopped = true }
+
+// Start subscribes to owner events and begins the tick loop. Like the
+// centralized scheduler, rebalancing ticks only run when LoadThreshold is
+// set; owner-reclaim evacuations are event-driven either way.
+func (f *Fleet) Start() {
+	if f.pol.ReclaimOnOwner {
+		for _, h := range f.hosts {
+			h.OnOwnerChange(func(h *cluster.Host, active bool) {
+				if active && !f.stopped {
+					f.evacuate(int(h.ID()), core.ReasonOwnerReclaim)
+				}
+			})
+		}
+	}
+	if f.pol.LoadThreshold > 0 {
+		f.k.Schedule(f.pol.PollInterval, f.tickFn)
+	}
+}
+
+// Evacuate exposes manual evacuation (scripted scenarios and tests).
+func (f *Fleet) Evacuate(host int, reason core.MigrationReason) {
+	f.evacuate(host, reason)
+}
+
+func (f *Fleet) evacuate(host int, reason core.MigrationReason) {
+	moved, err := f.target.EvacuateHost(host, reason)
+	f.decisions = append(f.decisions, Decision{
+		At: f.k.Now(), Host: host, Dest: -1,
+		Reason: reason, Moved: moved, Err: err,
+	})
+}
+
+// tick is one scheduling round: refresh beats, gossip, then plan and
+// actuate at most one move per shard. Planning (beatShard, gossipRound,
+// planShard) is the allocation-free hot path; actuation dispatches into
+// the target's migration machinery and is deliberately outside it.
+func (f *Fleet) tick() {
+	if f.stopped {
+		return
+	}
+	f.tickNo++
+	if (f.tickNo-1)%uint64(f.pol.BeatEvery) == 0 {
+		for _, s := range f.shards {
+			f.beatShard(s)
+		}
+	}
+	if len(f.shards) > 1 && (f.tickNo-1)%uint64(f.pol.GossipEvery) == 0 {
+		f.gossipRound()
+	}
+	for _, s := range f.shards {
+		for m := 0; m < f.pol.MovesPerTick; m++ {
+			from, to, ok := f.planShard(s)
+			if !ok {
+				break
+			}
+			err := f.target.MoveOne(from, to, core.ReasonHighLoad)
+			moved := 1
+			if err != nil {
+				moved = 0
+			}
+			f.decisions = append(f.decisions, Decision{
+				At: f.k.Now(), Host: from, Dest: to,
+				Reason: core.ReasonHighLoad, Moved: moved, Err: err,
+			})
+			if err != nil {
+				// An actuation failure means the plan's view of the world
+				// is wrong; wait for the next beat rather than repeating it.
+				break
+			}
+			f.applyMove(from, to)
+		}
+	}
+	f.k.Schedule(f.pol.PollInterval, f.tickFn)
+}
+
+// beatShard coalesces the shard's member state into one delta beat frame
+// through the registered wire codec and applies it to the shard's view —
+// the batched replacement for per-host heartbeat messages. Only members
+// whose state changed since the last applied beat are included, so a
+// quiet shard's beat is an empty frame and the tick cost is O(changed
+// members), not O(members × tasks).
+func (f *Fleet) beatShard(s *fleetShard) {
+	b := s.beat
+	b.reset()
+	s.seq++
+	b.Shard = s.id
+	b.Seq = s.seq
+	b.Base = s.base
+	b.Full = s.needFull
+	for i := 0; i < s.n; i++ {
+		h := f.hosts[s.base+i]
+		var fl byte
+		if h.Alive() {
+			fl |= 1
+		}
+		if h.OwnerActive() {
+			fl |= 2
+		}
+		runq := h.LoadAverage()
+		load := f.target.HostLoad(s.base + i)
+		if !b.Full && fl == s.flags[i] && runq == s.runq[i] && load == s.view.Load(i) {
+			continue
+		}
+		b.Slots = append(b.Slots, i)
+		b.Loads = append(b.Loads, load)
+		b.Runq = append(b.Runq, runq)
+		b.Flags = append(b.Flags, fl)
+	}
+	frame, err := wirefmt.Append(f.scratch[:0], b)
+	f.scratch = frame
+	if err != nil {
+		s.needFull = true
+		return
+	}
+	_, r, err := wirefmt.OpenFrame(frame)
+	if err != nil {
+		s.needFull = true
+		return
+	}
+	// Decode back into the same beat struct: the frame is a separate
+	// buffer, so this round-trips the codec without a second scratch.
+	if err := readShardBeatInto(&r, b); err != nil {
+		s.needFull = true
+		return
+	}
+	for j, slot := range b.Slots {
+		s.view.Set(slot, b.Loads[j])
+		s.runq[slot] = b.Runq[j]
+		fl := b.Flags[j]
+		s.flags[slot] = fl
+		s.donorOK[slot] = fl&1 != 0
+		s.elig[slot] = fl&1 != 0 && fl&2 == 0
+	}
+	s.needFull = false
+}
+
+// gossipRound advances the gossip epoch: every shard summarizes its view
+// into a load vector and pushes the encoded frame to GossipPeers seeded
+// peers, which decode it into their remote tables. Peer choice is a pure
+// function of the shard's seed, so a sweep replays bit-identically.
+func (f *Fleet) gossipRound() {
+	f.epoch++
+	for _, s := range f.shards {
+		f.buildVector(s)
+		frame, err := wirefmt.Append(f.scratch[:0], &s.vec)
+		f.scratch = frame
+		if err != nil {
+			continue
+		}
+		for j := 0; j < f.pol.GossipPeers; j++ {
+			p := f.pickPeer(s)
+			_, r, err := wirefmt.OpenFrame(frame)
+			if err != nil {
+				continue
+			}
+			if err := readLoadVectorInto(&r, &f.shards[p].remote[s.id]); err != nil {
+				// A corrupt self-produced frame would be a codec bug;
+				// drop the vector and let staleness age it out.
+				f.shards[p].remote[s.id].Epoch = 0
+			}
+		}
+	}
+}
+
+// pickPeer draws a peer shard id uniformly from the other shards.
+// Repeats across a round's draws are allowed — gossip redundancy, not a
+// correctness issue.
+func (f *Fleet) pickPeer(s *fleetShard) int {
+	p := int(s.rng.Uint64() % uint64(len(f.shards)-1))
+	if p >= s.id {
+		p++
+	}
+	return p
+}
+
+// buildVector summarizes the shard's applied view into its load vector.
+func (f *Fleet) buildVector(s *fleetShard) {
+	v := &s.vec
+	v.Shard = s.id
+	v.Epoch = f.epoch
+	v.Members = s.n
+	v.Total = s.view.Total()
+	v.MaxLoad = s.view.MaxLoad()
+	slot, load := s.view.BestEligible(s.elig)
+	if slot >= 0 {
+		v.MinLoad, v.MinHost = load, s.base+slot
+	} else {
+		v.MinLoad, v.MinHost = 0, -1
+	}
+	minRunq, minSlot := int(^uint(0)>>1), -1
+	for i := 0; i < s.n; i++ {
+		if !s.elig[i] {
+			continue
+		}
+		if s.runq[i] < minRunq {
+			minRunq, minSlot = s.runq[i], i
+		}
+	}
+	if minSlot >= 0 {
+		v.MinRunq, v.MinRunqHost = minRunq, s.base+minSlot
+	} else {
+		v.MinRunq, v.MinRunqHost = 0, -1
+	}
+}
+
+// planShard picks at most one move for the shard: donor and destination
+// host ids, destination first local (this shard's members), else remote
+// via the freshest gossiped load vectors. Pure planning — the caller
+// actuates — and allocation-free: this is the steady-state tick path.
+func (f *Fleet) planShard(s *fleetShard) (from, to int, ok bool) {
+	if f.pol.Source == SourceRunQueue {
+		return f.planRunQueue(s)
+	}
+	return f.planWorkUnits(s)
+}
+
+// planRunQueue replicates the centralized pollOnce selection over the
+// shard's members: donor = highest run queue with work to shed, receiver
+// = lowest run queue without its owner, strict inequalities so the lowest
+// host id wins ties. With one shard and BeatEvery 1 this is bit-for-bit
+// the centralized scheduler.
+func (f *Fleet) planRunQueue(s *fleetShard) (int, int, bool) {
+	worst, worstLoad := -1, 0
+	best, bestLoad := -1, int(^uint(0)>>1)
+	for i := 0; i < s.n; i++ {
+		if s.flags[i]&1 == 0 {
+			continue
+		}
+		runq := s.runq[i]
+		if runq > worstLoad && s.view.Load(i) > 0 {
+			worst, worstLoad = i, runq
+		}
+		if runq < bestLoad && s.flags[i]&2 == 0 {
+			best, bestLoad = i, runq
+		}
+	}
+	if worst < 0 || worstLoad <= f.pol.LoadThreshold {
+		return 0, 0, false
+	}
+	if best >= 0 && best != worst && bestLoad < worstLoad-1 {
+		return s.base + worst, s.base + best, true
+	}
+	// No local receiver improves the imbalance: look for a remote one in
+	// the gossiped vectors.
+	return f.planRemote(s, s.base+worst, worstLoad, true)
+}
+
+// planWorkUnits selects from the work-unit index through the placement
+// policy.
+func (f *Fleet) planWorkUnits(s *fleetShard) (int, int, bool) {
+	donor, donorLoad := s.view.WorstEligible(s.donorOK)
+	if donor < 0 || donorLoad <= f.pol.LoadThreshold {
+		return 0, 0, false
+	}
+	dest := f.pol.Placement.Pick(&s.pv, donor, donorLoad, s.rng)
+	if dest >= 0 {
+		return s.base + donor, s.base + dest, true
+	}
+	return f.planRemote(s, s.base+donor, donorLoad, false)
+}
+
+// planRemote scans the shard's received load vectors for the best
+// cross-shard destination within the staleness bound; the root validates
+// liveness against the live cluster before the move is actuated.
+func (f *Fleet) planRemote(s *fleetShard, from, fromLoad int, byRunq bool) (int, int, bool) {
+	bestHost, bestLoad := -1, 0
+	for i := range s.remote {
+		v := &s.remote[i]
+		if v.Epoch == 0 || f.epoch-v.Epoch > f.pol.GossipStaleness {
+			continue
+		}
+		host, load := v.MinHost, v.MinLoad
+		if byRunq {
+			host, load = v.MinRunqHost, v.MinRunq
+		}
+		if host < 0 || !improves(fromLoad, load) {
+			continue
+		}
+		if bestHost < 0 || load < bestLoad || (load == bestLoad && host < bestHost) {
+			bestHost, bestLoad = host, load
+		}
+	}
+	if bestHost < 0 {
+		return 0, 0, false
+	}
+	// Root validation: the vector is bounded-stale; the move is not.
+	h := f.hosts[bestHost]
+	if !h.Alive() || h.OwnerActive() {
+		return 0, 0, false
+	}
+	return from, bestHost, true
+}
+
+// applyMove optimistically updates the involved shard views so ticks
+// between beats do not re-plan against state they just changed.
+func (f *Fleet) applyMove(from, to int) {
+	fs := f.shardOf(from)
+	ts := f.shardOf(to)
+	fs.view.NoteExit(from - fs.base)
+	ts.view.NoteSpawn(to - ts.base)
+}
+
+func (f *Fleet) shardOf(host int) *fleetShard {
+	// Contiguous partition: per-shard sizes differ by at most one, so a
+	// two-step probe finds the shard without a search.
+	per := len(f.hosts) / len(f.shards)
+	extra := len(f.hosts) % len(f.shards)
+	guess := 0
+	if per > 0 {
+		guess = host / (per + 1)
+		if guess > extra {
+			g2 := extra + (host-extra*(per+1))/per
+			guess = g2
+		}
+	}
+	for guess < len(f.shards)-1 && host >= f.shards[guess+1].base {
+		guess++
+	}
+	for guess > 0 && host < f.shards[guess].base {
+		guess--
+	}
+	return f.shards[guess]
+}
+
+// DecisionFingerprint folds a decision log into one FNV-1a value — the
+// cross-run and cross-parallelism determinism pin for fleet sweeps.
+func DecisionFingerprint(decs []Decision) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xff
+			h *= prime
+			v >>= 8
+		}
+	}
+	for i := range decs {
+		d := &decs[i]
+		mix(uint64(d.At))
+		mix(uint64(int64(d.Host)))
+		mix(uint64(int64(d.Dest)))
+		mix(uint64(int64(d.Moved)))
+		for _, c := range []byte(d.Reason) {
+			h ^= uint64(c)
+			h *= prime
+		}
+		if d.Err != nil {
+			for _, c := range []byte(d.Err.Error()) {
+				h ^= uint64(c)
+				h *= prime
+			}
+		}
+	}
+	return h
+}

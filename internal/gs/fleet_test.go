@@ -1,0 +1,279 @@
+package gs
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+	"time"
+
+	"pvmigrate/internal/cluster"
+	"pvmigrate/internal/netsim"
+	"pvmigrate/internal/sim"
+)
+
+// countWorld builds a fresh kernel + cluster + CountTarget with a seeded
+// hotspot skew and pre-scheduled deterministic churn: background-load
+// jitter on the run queues and owner arrival/departure storms. Two calls
+// with the same arguments build bit-identical worlds, so a centralized
+// scheduler over one and a fleet over the other see the same history.
+func countWorld(hosts, vps int, seed uint64, dur time.Duration) (*sim.Kernel, *cluster.Cluster, *CountTarget) {
+	k := sim.NewKernel()
+	specs := make([]cluster.HostSpec, hosts)
+	for i := range specs {
+		specs[i] = cluster.DefaultHostSpec("h")
+	}
+	cl := cluster.New(k, netsim.Params{}, specs...)
+	tgt := NewCountTarget(cl)
+	rng := sim.NewRNG(seed)
+	// Hotspot skew: a fifth of the VPs land on one-twentieth of the
+	// hosts, the rest spread uniformly.
+	hot := hosts / 20
+	if hot < 1 {
+		hot = 1
+	}
+	for i := 0; i < vps; i++ {
+		if i%5 == 0 {
+			tgt.Seed(rng.Intn(hot), 1)
+		} else {
+			tgt.Seed(rng.Intn(hosts), 1)
+		}
+	}
+	hs := cl.Hosts()
+	bgs := make([]*cluster.BackgroundLoad, hosts)
+	for i, h := range hs {
+		bgs[i] = cluster.NewBackgroundLoad(h)
+	}
+	for at := time.Second; at < dur; at += time.Second {
+		h, n := rng.Intn(hosts), rng.Intn(8)
+		k.Schedule(at, func() { bgs[h].Set(n) })
+		if rng.Intn(7) == 0 {
+			oh, active := rng.Intn(hosts), rng.Intn(2) == 0
+			k.Schedule(at, func() { hs[oh].SetOwnerActive(active) })
+		}
+	}
+	return k, cl, tgt
+}
+
+// TestFleetOneShardMatchesCentralized is the equivalence pin: the fleet
+// with one shard, run-queue source, and a beat every tick must produce
+// the centralized Scheduler's decision log bit for bit — same hosts, same
+// destinations, same timestamps, same fingerprint.
+func TestFleetOneShardMatchesCentralized(t *testing.T) {
+	const (
+		hosts = 40
+		vps   = 400
+		seed  = 0xfeed
+		dur   = 4 * time.Minute
+	)
+	k1, cl1, tgt1 := countWorld(hosts, vps, seed, dur)
+	sched := New(cl1, tgt1, Policy{ReclaimOnOwner: true, LoadThreshold: 2, PollInterval: 5 * time.Second})
+	sched.Start()
+	k1.RunUntil(dur)
+
+	k2, cl2, tgt2 := countWorld(hosts, vps, seed, dur)
+	pol := DefaultFleetPolicy()
+	pol.Shards = 1
+	pol.LoadThreshold = 2
+	fleet := NewFleet(cl2, tgt2, pol)
+	fleet.Start()
+	k2.RunUntil(dur)
+
+	cd, fd := sched.Decisions(), fleet.Decisions()
+	if len(cd) == 0 {
+		t.Fatal("centralized scheduler made no decisions — churn too weak to test anything")
+	}
+	if !reflect.DeepEqual(cd, fd) {
+		n := len(cd)
+		if len(fd) < n {
+			n = len(fd)
+		}
+		for i := 0; i < n; i++ {
+			if !reflect.DeepEqual(cd[i], fd[i]) {
+				t.Fatalf("decision %d diverges:\ncentralized %+v\nfleet       %+v", i, cd[i], fd[i])
+			}
+		}
+		t.Fatalf("decision counts diverge: centralized %d, fleet %d", len(cd), len(fd))
+	}
+	if cf, ff := DecisionFingerprint(cd), DecisionFingerprint(fd); cf != ff {
+		t.Fatalf("fingerprints diverge: centralized %#x, fleet %#x", cf, ff)
+	}
+}
+
+// runFleetOnce builds a multi-shard world and runs it to completion,
+// returning the decision log.
+func runFleetOnce(t *testing.T, shards int, src LoadSource, place Placement, seed uint64) []Decision {
+	t.Helper()
+	const (
+		hosts = 48
+		vps   = 600
+	)
+	dur := 4 * time.Minute
+	k, cl, tgt := countWorld(hosts, vps, seed, dur)
+	pol := DefaultFleetPolicy()
+	pol.Shards = shards
+	pol.LoadThreshold = 2
+	pol.Source = src
+	pol.Placement = place
+	pol.Seed = seed
+	fleet := NewFleet(cl, tgt, pol)
+	fleet.Start()
+	k.RunUntil(dur)
+	return fleet.Decisions()
+}
+
+// TestFleetMultiShardDeterminism double-runs the sharded scheduler with
+// gossip and the randomized dest-swap placement: same seed, same decision
+// log, same fingerprint.
+func TestFleetMultiShardDeterminism(t *testing.T) {
+	a := runFleetOnce(t, 4, SourceWorkUnits, DestSwap{}, 0xabcd)
+	b := runFleetOnce(t, 4, SourceWorkUnits, DestSwap{}, 0xabcd)
+	if len(a) == 0 {
+		t.Fatal("no decisions — scenario too quiet to pin determinism")
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("double run diverged: %d vs %d decisions", len(a), len(b))
+	}
+	if DecisionFingerprint(a) != DecisionFingerprint(b) {
+		t.Fatal("double run fingerprints diverged")
+	}
+	c := runFleetOnce(t, 4, SourceWorkUnits, DestSwap{}, 0xabce)
+	if reflect.DeepEqual(a, c) && len(a) > 3 {
+		t.Fatal("different seeds produced identical logs — seed is not reaching the fleet")
+	}
+}
+
+// TestFleetRunQueueShardedDeterminism covers the run-queue source in
+// sharded mode (cross-shard moves steered by gossiped MinRunq).
+func TestFleetRunQueueShardedDeterminism(t *testing.T) {
+	a := runFleetOnce(t, 3, SourceRunQueue, nil, 0x5151)
+	b := runFleetOnce(t, 3, SourceRunQueue, nil, 0x5151)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("double run diverged: %d vs %d decisions", len(a), len(b))
+	}
+}
+
+// TestGossipPeerSelectionDeterministic pins the seeded peer stream: two
+// fleets with the same seed draw identical peer sequences, every draw is
+// a valid non-self shard, and a different seed draws a different stream.
+func TestGossipPeerSelectionDeterministic(t *testing.T) {
+	build := func(seed uint64) *Fleet {
+		k := sim.NewKernel()
+		specs := make([]cluster.HostSpec, 12)
+		for i := range specs {
+			specs[i] = cluster.DefaultHostSpec("h")
+		}
+		cl := cluster.New(k, netsim.Params{}, specs...)
+		pol := DefaultFleetPolicy()
+		pol.Shards = 4
+		pol.Seed = seed
+		return NewFleet(cl, NewCountTarget(cl), pol)
+	}
+	f1, f2, f3 := build(7), build(7), build(8)
+	var s1, s2, s3 []int
+	for draw := 0; draw < 64; draw++ {
+		for sh := 0; sh < 4; sh++ {
+			p1 := f1.pickPeer(f1.shards[sh])
+			p2 := f2.pickPeer(f2.shards[sh])
+			p3 := f3.pickPeer(f3.shards[sh])
+			if p1 < 0 || p1 >= 4 || p1 == sh {
+				t.Fatalf("shard %d drew invalid peer %d", sh, p1)
+			}
+			s1, s2, s3 = append(s1, p1), append(s2, p2), append(s3, p3)
+		}
+	}
+	if !reflect.DeepEqual(s1, s2) {
+		t.Fatal("same seed drew different peer streams")
+	}
+	if reflect.DeepEqual(s1, s3) {
+		t.Fatal("different seeds drew identical peer streams")
+	}
+}
+
+// TestFleetCrossShardMove forces a shard with no local receiver (every
+// other member owner-occupied) and checks gossip steers the move to
+// another shard's least-loaded host.
+func TestFleetCrossShardMove(t *testing.T) {
+	k := sim.NewKernel()
+	specs := make([]cluster.HostSpec, 8)
+	for i := range specs {
+		specs[i] = cluster.DefaultHostSpec("h")
+	}
+	cl := cluster.New(k, netsim.Params{}, specs...)
+	tgt := NewCountTarget(cl)
+	// Shard 0 = hosts 0–3, shard 1 = hosts 4–7. Host 0 is overloaded and
+	// hosts 1–3 are owner-occupied, so shard 0 has no local receiver.
+	tgt.Seed(0, 10)
+	for i := 1; i <= 3; i++ {
+		cl.Hosts()[i].SetOwnerActive(true)
+	}
+	pol := DefaultFleetPolicy()
+	pol.Shards = 2
+	pol.LoadThreshold = 1
+	pol.Source = SourceWorkUnits
+	pol.GossipPeers = 1 // with 2 shards every round reaches the other shard
+	fleet := NewFleet(cl, tgt, pol)
+	fleet.Start()
+	k.RunUntil(time.Minute)
+	moved := false
+	for _, d := range fleet.Decisions() {
+		if d.Err == nil && d.Host == 0 && d.Dest >= 4 {
+			moved = true
+		}
+	}
+	if !moved {
+		t.Fatalf("no cross-shard move out of host 0; decisions: %+v", fleet.Decisions())
+	}
+}
+
+// TestFleetOwnerReclaimEvacuates checks the event-driven path: an owner
+// arrival drains the host through the target with a Dest:-1 decision.
+func TestFleetOwnerReclaimEvacuates(t *testing.T) {
+	k := sim.NewKernel()
+	specs := make([]cluster.HostSpec, 4)
+	for i := range specs {
+		specs[i] = cluster.DefaultHostSpec("h")
+	}
+	cl := cluster.New(k, netsim.Params{}, specs...)
+	tgt := NewCountTarget(cl)
+	tgt.Seed(1, 6)
+	fleet := NewFleet(cl, tgt, DefaultFleetPolicy())
+	fleet.Start()
+	k.Schedule(10*time.Second, func() { cl.Hosts()[1].SetOwnerActive(true) })
+	k.RunUntil(time.Minute)
+	dec := fleet.Decisions()
+	if len(dec) != 1 || dec[0].Host != 1 || dec[0].Dest != -1 || dec[0].Moved != 6 || dec[0].Err != nil {
+		t.Fatalf("decisions = %+v", dec)
+	}
+	if tgt.HostLoad(1) != 0 {
+		t.Fatalf("host 1 still carries %d units after reclaim", tgt.HostLoad(1))
+	}
+}
+
+// TestFleetSteadyStateTickZeroAlloc pins the tentpole's perf claim: once
+// the world is quiet and every scratch buffer is warm, a full tick —
+// beats, gossip, planning across all shards — allocates nothing.
+func TestFleetSteadyStateTickZeroAlloc(t *testing.T) {
+	k := sim.NewKernel()
+	specs := make([]cluster.HostSpec, 32)
+	for i := range specs {
+		specs[i] = cluster.DefaultHostSpec("h")
+	}
+	cl := cluster.New(k, netsim.Params{}, specs...)
+	tgt := NewCountTarget(cl)
+	for i := 0; i < 32; i++ {
+		tgt.Seed(i, 3) // balanced: planning runs but never moves
+	}
+	pol := DefaultFleetPolicy()
+	pol.Shards = 4
+	pol.LoadThreshold = 2
+	fleet := NewFleet(cl, tgt, pol)
+	fleet.Start()
+	k.RunUntil(10 * time.Minute) // warm every beat/gossip/heap buffer
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	k.RunUntil(20 * time.Minute)
+	runtime.ReadMemStats(&after)
+	if d := after.Mallocs - before.Mallocs; d != 0 {
+		t.Fatalf("steady-state ticks allocated %d times, want 0", d)
+	}
+}

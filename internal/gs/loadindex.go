@@ -1,0 +1,190 @@
+package gs
+
+// LoadIndex is the incremental per-host load table behind every scheduling
+// target. Targets push deltas (NoteSpawn/NoteExit/NoteMoved) as placement
+// changes happen, so reading a host's load — or finding the most/least
+// loaded host — never rescans tasks. Hosts with equal load sit on an
+// intrusive doubly-linked bucket list, which makes "worst eligible host"
+// a walk down from the tracked maximum instead of an O(hosts) scan, and
+// keeps the steady-state mutation path allocation-free: the only growth is
+// the bucket head array, which is amortised over the life of the index and
+// never grows during a steady-state scheduling tick.
+//
+// Host ids index the table directly (the cluster assigns dense ids from 0),
+// and every tie among equally loaded hosts resolves to the lowest host id,
+// so index-driven decisions are a pure function of the load history.
+type LoadIndex struct {
+	loads  []int32  // current load per host
+	next   []int32  // intrusive bucket list: next host in same-load bucket
+	prev   []int32  // previous host, -1 when head
+	stamps []uint64 // version at last change per host (delta-beat support)
+
+	heads []int32 // head host per load value, -1 when empty
+
+	maxLoad int32
+	total   int
+	version uint64
+}
+
+// NewLoadIndex returns an index covering hosts [0, hosts) all at load 0.
+func NewLoadIndex(hosts int) *LoadIndex {
+	x := &LoadIndex{
+		loads:  make([]int32, hosts),
+		next:   make([]int32, hosts),
+		prev:   make([]int32, hosts),
+		stamps: make([]uint64, hosts),
+		heads:  make([]int32, 1, 16),
+	}
+	x.heads[0] = -1
+	for h := hosts - 1; h >= 0; h-- {
+		x.link(int32(h))
+	}
+	return x
+}
+
+// Hosts returns the number of hosts the index covers.
+func (x *LoadIndex) Hosts() int { return len(x.loads) }
+
+// Load returns host's current load (0 for out-of-range hosts).
+func (x *LoadIndex) Load(host int) int {
+	if host < 0 || host >= len(x.loads) {
+		return 0
+	}
+	return int(x.loads[host])
+}
+
+// Total returns the sum of all host loads (the work-unit population).
+func (x *LoadIndex) Total() int { return x.total }
+
+// MaxLoad returns the highest load of any host (exact, not an estimate).
+func (x *LoadIndex) MaxLoad() int { return int(x.maxLoad) }
+
+// Version returns a counter that advances on every mutation. Equal
+// versions guarantee an unchanged index, which lets beat builders skip
+// work when nothing moved.
+func (x *LoadIndex) Version() uint64 { return x.version }
+
+// Stamp returns the version at which host last changed. A beat builder
+// that remembers the version of its previous beat can include only hosts
+// with a newer stamp.
+func (x *LoadIndex) Stamp(host int) uint64 { return x.stamps[host] }
+
+func (x *LoadIndex) unlink(h int32) {
+	ld := x.loads[h]
+	if x.prev[h] >= 0 {
+		x.next[x.prev[h]] = x.next[h]
+	} else {
+		x.heads[ld] = x.next[h]
+	}
+	if x.next[h] >= 0 {
+		x.prev[x.next[h]] = x.prev[h]
+	}
+}
+
+func (x *LoadIndex) link(h int32) {
+	ld := x.loads[h]
+	head := x.heads[ld]
+	x.next[h] = head
+	x.prev[h] = -1
+	if head >= 0 {
+		x.prev[head] = h
+	}
+	x.heads[ld] = h
+}
+
+// Add applies a signed delta to host's load. Negative results clamp to
+// zero — a target that double-counts an exit has a bug the cross-check
+// test catches; the index itself must stay well-formed either way.
+func (x *LoadIndex) Add(host, delta int) {
+	if host < 0 || host >= len(x.loads) || delta == 0 {
+		return
+	}
+	h := int32(host)
+	old := x.loads[h]
+	nl := old + int32(delta)
+	if nl < 0 {
+		nl = 0
+	}
+	if nl == old {
+		return
+	}
+	x.unlink(h)
+	x.loads[h] = nl
+	for int32(len(x.heads)) <= nl {
+		x.heads = append(x.heads, -1)
+	}
+	x.link(h)
+	x.total += int(nl - old)
+	x.version++
+	x.stamps[h] = x.version
+	if nl > x.maxLoad {
+		x.maxLoad = nl
+	} else if old == x.maxLoad {
+		for x.maxLoad > 0 && x.heads[x.maxLoad] < 0 {
+			x.maxLoad--
+		}
+	}
+}
+
+// Set forces host's load to an absolute value (beat application).
+func (x *LoadIndex) Set(host, load int) {
+	if host < 0 || host >= len(x.loads) {
+		return
+	}
+	x.Add(host, load-int(x.loads[host]))
+}
+
+// NoteSpawn records one new work unit on host.
+func (x *LoadIndex) NoteSpawn(host int) { x.Add(host, 1) }
+
+// NoteExit records one work unit leaving host.
+func (x *LoadIndex) NoteExit(host int) { x.Add(host, -1) }
+
+// NoteMoved records one work unit migrating from one host to another.
+func (x *LoadIndex) NoteMoved(from, to int) {
+	x.Add(from, -1)
+	x.Add(to, 1)
+}
+
+// WorstEligible returns the eligible host with the highest non-zero load
+// and that load, or (-1, 0) when no loaded host is eligible. elig may be
+// nil (every host eligible); otherwise elig[h] gates host h. Ties resolve
+// to the lowest host id, walking the bucket at each load level.
+func (x *LoadIndex) WorstEligible(elig []bool) (host, load int) {
+	for ld := x.maxLoad; ld >= 1; ld-- {
+		best := int32(-1)
+		for h := x.heads[ld]; h >= 0; h = x.next[h] {
+			if elig != nil && !elig[h] {
+				continue
+			}
+			if best < 0 || h < best {
+				best = h
+			}
+		}
+		if best >= 0 {
+			return int(best), int(ld)
+		}
+	}
+	return -1, 0
+}
+
+// BestEligible returns the eligible host with the lowest load and that
+// load, or (-1, 0) when no host is eligible. Ties resolve to the lowest
+// host id.
+func (x *LoadIndex) BestEligible(elig []bool) (host, load int) {
+	for ld := int32(0); ld < int32(len(x.heads)); ld++ {
+		best := int32(-1)
+		for h := x.heads[ld]; h >= 0; h = x.next[h] {
+			if elig != nil && !elig[h] {
+				continue
+			}
+			if best < 0 || h < best {
+				best = h
+			}
+		}
+		if best >= 0 {
+			return int(best), int(ld)
+		}
+	}
+	return -1, 0
+}

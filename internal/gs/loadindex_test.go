@@ -1,0 +1,157 @@
+package gs
+
+import (
+	"testing"
+
+	"pvmigrate/internal/sim"
+)
+
+// bruteWorst mirrors WorstEligible by full scan.
+func bruteWorst(x *LoadIndex, elig []bool) (int, int) {
+	host, load := -1, 0
+	for h := 0; h < x.Hosts(); h++ {
+		if elig != nil && !elig[h] {
+			continue
+		}
+		if x.Load(h) > load {
+			host, load = h, x.Load(h)
+		}
+	}
+	return host, load
+}
+
+func bruteBest(x *LoadIndex, elig []bool) (int, int) {
+	host, load := -1, int(^uint(0)>>1)
+	for h := 0; h < x.Hosts(); h++ {
+		if elig != nil && !elig[h] {
+			continue
+		}
+		if x.Load(h) < load {
+			host, load = h, x.Load(h)
+		}
+	}
+	if host < 0 {
+		return -1, 0
+	}
+	return host, load
+}
+
+func TestLoadIndexBasics(t *testing.T) {
+	x := NewLoadIndex(4)
+	if x.Total() != 0 || x.MaxLoad() != 0 {
+		t.Fatalf("fresh index: total=%d max=%d", x.Total(), x.MaxLoad())
+	}
+	x.NoteSpawn(2)
+	x.NoteSpawn(2)
+	x.NoteSpawn(1)
+	if x.Load(2) != 2 || x.Load(1) != 1 || x.Total() != 3 || x.MaxLoad() != 2 {
+		t.Fatalf("after spawns: %+v total=%d max=%d", x.loads, x.Total(), x.MaxLoad())
+	}
+	x.NoteMoved(2, 3)
+	if x.Load(2) != 1 || x.Load(3) != 1 || x.Total() != 3 {
+		t.Fatalf("after move: %+v", x.loads)
+	}
+	if h, ld := x.WorstEligible(nil); h != 1 || ld != 1 {
+		t.Fatalf("worst = (%d,%d), want lowest-id tie winner (1,1)", h, ld)
+	}
+	if h, ld := x.BestEligible(nil); h != 0 || ld != 0 {
+		t.Fatalf("best = (%d,%d), want (0,0)", h, ld)
+	}
+	x.NoteExit(1)
+	x.NoteExit(2)
+	x.NoteExit(3)
+	if x.Total() != 0 || x.MaxLoad() != 0 {
+		t.Fatalf("drained: total=%d max=%d", x.Total(), x.MaxLoad())
+	}
+}
+
+func TestLoadIndexClampsUnderflow(t *testing.T) {
+	x := NewLoadIndex(2)
+	x.NoteExit(0)
+	if x.Load(0) != 0 || x.Total() != 0 {
+		t.Fatalf("underflow not clamped: load=%d total=%d", x.Load(0), x.Total())
+	}
+}
+
+// TestLoadIndexRandomChurn drives the index with seeded random deltas and
+// cross-checks every query against a brute-force recount.
+func TestLoadIndexRandomChurn(t *testing.T) {
+	const hosts = 23
+	rng := sim.NewRNG(99)
+	x := NewLoadIndex(hosts)
+	ref := make([]int, hosts)
+	elig := make([]bool, hosts)
+	for step := 0; step < 5000; step++ {
+		h := rng.Intn(hosts)
+		switch rng.Intn(4) {
+		case 0:
+			x.NoteSpawn(h)
+			ref[h]++
+		case 1:
+			if ref[h] > 0 {
+				x.NoteExit(h)
+				ref[h]--
+			}
+		case 2:
+			to := rng.Intn(hosts)
+			if ref[h] > 0 && to != h {
+				x.NoteMoved(h, to)
+				ref[h]--
+				ref[to]++
+			}
+		case 3:
+			n := rng.Intn(7)
+			x.Set(h, n)
+			ref[h] = n
+		}
+		if step%97 != 0 {
+			continue
+		}
+		total, max := 0, 0
+		for i, want := range ref {
+			if x.Load(i) != want {
+				t.Fatalf("step %d: Load(%d)=%d want %d", step, i, x.Load(i), want)
+			}
+			total += want
+			if want > max {
+				max = want
+			}
+		}
+		if x.Total() != total || x.MaxLoad() != max {
+			t.Fatalf("step %d: total=%d/%d max=%d/%d", step, x.Total(), total, x.MaxLoad(), max)
+		}
+		for i := range elig {
+			elig[i] = rng.Intn(3) != 0
+		}
+		wh, wl := x.WorstEligible(elig)
+		bh, bl := bruteWorst(x, elig)
+		if wh != bh || wl != bl {
+			t.Fatalf("step %d: worst=(%d,%d) brute=(%d,%d)", step, wh, wl, bh, bl)
+		}
+		gh, gl := x.BestEligible(elig)
+		ch, cl := bruteBest(x, elig)
+		if gh != ch || gl != cl {
+			t.Fatalf("step %d: best=(%d,%d) brute=(%d,%d)", step, gh, gl, ch, cl)
+		}
+		if wn, _ := x.WorstEligible(nil); wn != func() int { h, _ := bruteWorst(x, nil); return h }() {
+			t.Fatalf("step %d: nil-elig worst mismatch", step)
+		}
+	}
+}
+
+func TestLoadIndexStampTracksChanges(t *testing.T) {
+	x := NewLoadIndex(3)
+	v0 := x.Version()
+	x.NoteSpawn(1)
+	if x.Stamp(1) <= v0 {
+		t.Fatalf("stamp did not advance: %d <= %d", x.Stamp(1), v0)
+	}
+	if x.Stamp(0) != 0 || x.Stamp(2) != 0 {
+		t.Fatalf("untouched hosts stamped: %d %d", x.Stamp(0), x.Stamp(2))
+	}
+	v1 := x.Version()
+	x.Add(1, 0)
+	if x.Version() != v1 {
+		t.Fatalf("no-op delta advanced version")
+	}
+}

@@ -8,22 +8,69 @@ import (
 
 // UPVMTarget adapts a UPVM system to the scheduler: work units are ULPs,
 // giving the scheduler the finer redistribution granularity that is UPVM's
-// selling point (§3.4.2).
+// selling point (§3.4.2). Host load is served from an incremental
+// LoadIndex fed by the system's placement hooks (initial load, migration
+// acceptance, completion), so HostLoad never rescans ULPs.
 type UPVMTarget struct {
 	sys  *upvm.System
 	ulps []int
+	idx  *LoadIndex
+	// cur is the host each tracked ULP is currently counted on (-1 when
+	// done or not yet placed).
+	cur map[int]int
 }
 
 // NewUPVMTarget wraps a UPVM system.
 func NewUPVMTarget(sys *upvm.System) *UPVMTarget {
-	return &UPVMTarget{sys: sys}
+	t := &UPVMTarget{
+		sys: sys,
+		idx: NewLoadIndex(sys.Machine().NHosts()),
+		cur: make(map[int]int),
+	}
+	sys.OnPlacement(t.notePlaced)
+	return t
 }
 
-// Track registers a ULP the scheduler may move.
-func (t *UPVMTarget) Track(ulpID int) { t.ulps = append(t.ulps, ulpID) }
+// Index exposes the incremental load table (IndexedTarget).
+func (t *UPVMTarget) Index() *LoadIndex { return t.idx }
 
-// HostLoad counts tracked live ULPs on the host.
-func (t *UPVMTarget) HostLoad(host int) int {
+// Track registers a ULP the scheduler may move.
+func (t *UPVMTarget) Track(ulpID int) {
+	if _, ok := t.cur[ulpID]; ok {
+		return
+	}
+	t.ulps = append(t.ulps, ulpID)
+	host := -1
+	if u := t.sys.ULP(ulpID); u != nil && !u.Done() {
+		host = int(u.Host().ID())
+		t.idx.NoteSpawn(host)
+	}
+	t.cur[ulpID] = host
+}
+
+// notePlaced is the upvm placement hook; host -1 means the ULP completed.
+func (t *UPVMTarget) notePlaced(ulpID, host int) {
+	old, ok := t.cur[ulpID]
+	if !ok {
+		return
+	}
+	switch {
+	case old < 0 && host >= 0:
+		t.idx.NoteSpawn(host)
+	case old >= 0 && host < 0:
+		t.idx.NoteExit(old)
+	case old >= 0 && host >= 0:
+		t.idx.NoteMoved(old, host)
+	}
+	t.cur[ulpID] = host
+}
+
+// HostLoad reports tracked live ULPs on the host from the load index.
+func (t *UPVMTarget) HostLoad(host int) int { return t.idx.Load(host) }
+
+// bruteHostLoad recounts by rescanning every tracked ULP — the pre-index
+// algorithm, kept as the oracle for the index cross-check test.
+func (t *UPVMTarget) bruteHostLoad(host int) int {
 	n := 0
 	for _, id := range t.ulps {
 		u := t.sys.ULP(id)

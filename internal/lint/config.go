@@ -175,8 +175,16 @@ func DefaultConfig() *Config {
 			// The encode path and the scalar decode helpers: what
 			// TestAppendZeroAlloc asserts. The slice/string readers and
 			// Decode allocate their results by design and are not rooted.
+			// The fleet scheduler's steady-state planning paths: what
+			// TestFleetSteadyStateTickZeroAlloc and the BENCH_KERNEL fleet
+			// gate assert. Actuation (Fleet.tick's MoveOne dispatch and
+			// decision append) is deliberately outside the hot set — a tick
+			// that moves work pays for the move, not for the planning.
+			"pvmigrate/internal/gs": {
+				"Fleet.beatShard", "Fleet.gossipRound", "Fleet.planShard",
+			},
 			"pvmigrate/internal/wirefmt": {
-				"Append", "AppendAny",
+				"Append", "AppendAny", "OpenFrame",
 				"AppendBool", "AppendInt", "AppendInt64", "AppendUvarint",
 				"AppendFloat64", "AppendString", "AppendBytes",
 				"AppendInts", "AppendFloat64s",
@@ -229,6 +237,7 @@ func DefaultConfig() *Config {
 			"pvmigrate/internal/pvm":  {32, 47},
 			"pvmigrate/internal/mpvm": {48, 63},
 			"pvmigrate/internal/ft":   {64, 79},
+			"pvmigrate/internal/gs":   {80, 95},
 		},
 		WireLock:   "wiretags.lock",
 		ErrCodeDoc: "DESIGN.md",

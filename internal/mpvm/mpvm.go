@@ -142,6 +142,25 @@ type System struct {
 
 	rpcSeq  int
 	rpcWait map[int]*rpcPending
+
+	// placeHooks run whenever a VP's authoritative placement changes: a
+	// migration reintegrates on its destination, or a respawn re-incarnates
+	// the VP on a recovery host. The scheduler's incremental load index
+	// subscribes here so HostLoad never rescans tasks.
+	placeHooks []func(orig core.TID, host int, task *pvm.Task)
+}
+
+// OnPlacement registers fn to run whenever a VP's placement changes (see
+// placeHooks). Hooks run synchronously at the protocol step that commits
+// the new placement, in registration order.
+func (s *System) OnPlacement(fn func(orig core.TID, host int, task *pvm.Task)) {
+	s.placeHooks = append(s.placeHooks, fn)
+}
+
+func (s *System) notePlacement(orig core.TID, host int, task *pvm.Task) {
+	for _, fn := range s.placeHooks {
+		fn(orig, host, task)
+	}
 }
 
 type rpcPending struct {

@@ -418,4 +418,5 @@ func (s *System) executeMigration(mt *MTask, sig migrateSignal) {
 	}
 	s.trace(mt.orig.String(), "4:reintegrated", "resuming application execution")
 	s.records = append(s.records, rec)
+	s.notePlacement(mt.orig, destHost, mt.Task)
 }

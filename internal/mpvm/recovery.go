@@ -138,6 +138,7 @@ func (s *System) Respawn(orig core.TID, host int, name string, stateBytes int, b
 		d.SendCtl(h, s.cfg.CtlBytes, &pvm.CtlMsg{Kind: "mpvm",
 			Payload: &restartCmd{orig: orig, oldTID: oldCur, newTID: newTID}})
 	}
+	s.notePlacement(orig, host, task)
 	return nt, nil
 }
 

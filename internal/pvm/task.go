@@ -35,6 +35,10 @@ type Task struct {
 
 	exited       bool
 	exitWatchers []exitWatcher
+	// onExit hooks run synchronously inside Exit(), before the pvm_notify
+	// messages go out. The scheduler's load index subscribes here so host
+	// load accounting updates at the exit instant, not a poll later.
+	onExit []func(*Task)
 
 	// Migration-layer hooks (installed by mpvm; nil under plain PVM).
 	resolve    func(core.TID) core.TID  // outgoing tid remap
@@ -459,10 +463,24 @@ func (t *Task) Exit() {
 	t.d.dropTask(t)
 	t.closeEndpoints()
 	t.inboxCond.Broadcast()
+	for _, fn := range t.onExit {
+		fn(t)
+	}
+	t.onExit = nil
 	for _, w := range t.exitWatchers {
 		t.m.sendExitNotice(w.who, t.tid, w.tag)
 	}
 	t.exitWatchers = nil
+}
+
+// OnExit registers fn to run synchronously when the task exits, in
+// registration order. If the task has already exited, fn runs immediately.
+func (t *Task) OnExit(fn func(*Task)) {
+	if t.exited {
+		fn(t)
+		return
+	}
+	t.onExit = append(t.onExit, fn)
 }
 
 // --- migration surgery (used by the mpvm package) -----------------------------

@@ -133,6 +133,11 @@ func (k *Kernel) nextPrio() uint64 {
 // Stop makes Run return after the event currently being processed.
 func (k *Kernel) Stop() { k.stopped = true }
 
+// EventsScheduled reports how many events have been scheduled since the
+// kernel was created. Every Schedule/ScheduleAt/wake consumes one sequence
+// number, so this is the natural throughput denominator for benchmarks.
+func (k *Kernel) EventsScheduled() uint64 { return k.seq }
+
 // heapPush inserts e, sifting up with the hole-propagation idiom: parents
 // move down until e's slot is found, then e is written once.
 func (k *Kernel) heapPush(e event) {

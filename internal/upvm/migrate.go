@@ -278,6 +278,7 @@ func (p *Process) acceptULP(t *pvm.Task, ulpID int, ix *inboundXfer) {
 	}
 	u.p = p
 	p.locator[ulpID] = p.host
+	p.sys.notePlaced(ulpID, p.host)
 	u.inbox = append(u.inbox, ix.inboxMsgs...)
 	// The ULP is NOT yet visible to the same-process hand-off fast path:
 	// messages already queued at this process's PVM inbox must be

@@ -98,6 +98,7 @@ func (p *Process) addULP(u *ULP) {
 	for h := range p.sys.procs {
 		p.sys.procs[h].locator[u.id] = p.host
 	}
+	p.sys.notePlaced(u.id, p.host)
 }
 
 // locate returns the host this process believes the ULP is on.

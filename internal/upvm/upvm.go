@@ -156,6 +156,23 @@ type System struct {
 	// tracer, when set, receives one event per migration protocol stage —
 	// used to reproduce the paper's Figure 3 as a timeline.
 	tracer func(actor, stage, detail string)
+
+	// placeHooks run whenever a ULP's placement commits: initial load,
+	// migration acceptance at the destination, or completion (host -1).
+	// The scheduler's incremental load index subscribes here.
+	placeHooks []func(ulpID, host int)
+}
+
+// OnPlacement registers fn to run whenever a ULP's placement changes:
+// initial placement, migration acceptance, and completion (host -1).
+func (s *System) OnPlacement(fn func(ulpID, host int)) {
+	s.placeHooks = append(s.placeHooks, fn)
+}
+
+func (s *System) notePlaced(ulpID, host int) {
+	for _, fn := range s.placeHooks {
+		fn(ulpID, host)
+	}
 }
 
 // New creates a UPVM system over a PVM machine.
