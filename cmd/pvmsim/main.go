@@ -19,9 +19,11 @@ import (
 	"os"
 	"time"
 
+	"pvmigrate/internal/core"
 	"pvmigrate/internal/gs"
 	"pvmigrate/internal/harness"
 	"pvmigrate/internal/netwire"
+	"pvmigrate/internal/plan"
 )
 
 func main() {
@@ -34,6 +36,10 @@ func main() {
 	real := flag.Bool("real", false, "carry and crunch real exemplar data (keep -mb small)")
 	migrateAt := flag.Duration("migrate-at", 0, "virtual time to migrate the last slave (0 = never)")
 	migrateTo := flag.Int("migrate-to", 0, "destination host for the migration")
+	warm := flag.Bool("warm", false, "mpvm: use iterative-precopy (warm) migration for -migrate-at")
+	planEvac := flag.Int("plan-evac", -1, "mpvm: at -migrate-at, evacuate this host via a declarative migration plan instead of moving one slave")
+	planMode := flag.String("plan-mode", "warm", "plan migration mode: warm | cold")
+	planConc := flag.Int("plan-concurrency", 0, "plan in-flight migration cap (default: 2 warm, 1 cold)")
 	trace := flag.Bool("trace", false, "print the migration protocol stage timeline (mpvm/upvm) or the recovery timeline (ft)")
 	crashes := flag.Int("crashes", 0, "ft: number of seeded host crashes to inject")
 	outage := flag.Duration("outage", 0, "ft: revive each crashed host after this long (0 = stay down)")
@@ -50,7 +56,7 @@ func main() {
 
 	if *system == "fleet" {
 		runFleet(harness.FleetScenario{
-			Hosts: fleetHosts(*hosts), VPs: *vps, Shards: *shards,
+			Hosts: fleetHosts(flag.CommandLine, *hosts), VPs: *vps, Shards: *shards,
 			Seed: *seed, Duration: *duration, Storms: *storms,
 			Placement: *placement,
 		})
@@ -73,6 +79,7 @@ func main() {
 		Real:       *real,
 		MigrateAt:  *migrateAt,
 		MigrateTo:  *migrateTo,
+		Warm:       *warm,
 	}
 	var wb *netwire.Backend
 	if *wire {
@@ -92,11 +99,19 @@ func main() {
 	}
 	var out *harness.Outcome
 	var timeline string
+	var planRes *plan.Result
 	switch *system {
 	case "pvm":
 		out = harness.RunPVM(sc)
 	case "mpvm":
-		if *trace {
+		if *planEvac >= 0 {
+			mode, conc, err := planSettings(flag.CommandLine, *planMode, *planConc)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "pvmsim: %v\n", err)
+				os.Exit(2)
+			}
+			out, planRes = harness.RunMPVMPlan(sc, *planEvac, mode, conc)
+		} else if *trace {
 			log, traced := harness.TraceMPVMMigration(sc)
 			out = traced
 			timeline = log.Timeline("migration protocol stages:")
@@ -141,6 +156,14 @@ func main() {
 		fmt.Printf("migration %v (host%d → %s, %s): obtrusiveness %.2f s, migration cost %.2f s, %d KB state\n",
 			r.VP, r.From, dest, r.Reason,
 			r.Obtrusiveness().Seconds(), r.Cost().Seconds(), r.StateBytes>>10)
+		if r.Mode == core.MigrationWarm {
+			fmt.Printf("  warm: %d precopy rounds, %d KB streamed, downtime %.1f ms\n",
+				r.Rounds, r.PrecopyBytes>>10, float64(r.Downtime().Microseconds())/1000)
+		}
+	}
+	if planRes != nil {
+		fmt.Printf("plan %s: %d moved, %d failed, settled in %.2f s\n",
+			planRes.Plan, planRes.Moved, planRes.Failed, planRes.Elapsed.Seconds())
 	}
 	if *migrateAt > 0 && len(out.Records) == 0 {
 		fmt.Println("note: no migration occurred (did the run finish before -migrate-at?)")
@@ -151,20 +174,51 @@ func main() {
 	}
 }
 
-// fleetHosts keeps the shared -hosts flag's small default from shrinking
-// the fleet scenario: unless -hosts was given explicitly, the fleet uses
-// its own 1000-host default.
-func fleetHosts(hosts int) int {
+// explicitFlag reports whether the named flag was set on the command
+// line, as opposed to carrying its registered default. Flags whose useful
+// default depends on *other* flags (fleet's -hosts, the plan's
+// -plan-concurrency) use this to tell "user said so" from "left alone".
+func explicitFlag(fs *flag.FlagSet, name string) bool {
 	explicit := false
-	flag.Visit(func(f *flag.Flag) {
-		if f.Name == "hosts" {
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == name {
 			explicit = true
 		}
 	})
-	if explicit {
+	return explicit
+}
+
+// fleetHosts keeps the shared -hosts flag's small default from shrinking
+// the fleet scenario: unless -hosts was given explicitly, the fleet uses
+// its own 1000-host default.
+func fleetHosts(fs *flag.FlagSet, hosts int) int {
+	if explicitFlag(fs, "hosts") {
 		return hosts
 	}
 	return 0
+}
+
+// planSettings resolves the plan flags: -plan-mode must name a real mode,
+// and -plan-concurrency, unless given explicitly, defaults by mode — warm
+// transfers overlap the running task so two in flight is cheap, while cold
+// stop-and-copy stays fully staged.
+func planSettings(fs *flag.FlagSet, mode string, conc int) (plan.Mode, int, error) {
+	m := plan.Mode(mode)
+	switch m {
+	case plan.ModeCold, plan.ModeWarm:
+	default:
+		return "", 0, fmt.Errorf("unknown -plan-mode %q (want warm or cold)", mode)
+	}
+	if !explicitFlag(fs, "plan-concurrency") {
+		if m == plan.ModeWarm {
+			return m, 2, nil
+		}
+		return m, 1, nil
+	}
+	if conc < 1 {
+		return "", 0, fmt.Errorf("-plan-concurrency must be at least 1, got %d", conc)
+	}
+	return m, conc, nil
 }
 
 // runFleet runs the fleet-scale scheduling scenario and prints its

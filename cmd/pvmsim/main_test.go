@@ -1,0 +1,99 @@
+package main
+
+import (
+	"flag"
+	"io"
+	"testing"
+	"time"
+
+	"pvmigrate/internal/plan"
+)
+
+// newFlags mirrors the subset of main's flag registration the
+// default-guard helpers read, on a private FlagSet so tests can parse
+// arbitrary command lines without touching flag.CommandLine.
+func newFlags() *flag.FlagSet {
+	fs := flag.NewFlagSet("pvmsim", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	fs.Int("hosts", 2, "")
+	fs.String("plan-mode", "warm", "")
+	fs.Int("plan-concurrency", 0, "")
+	fs.Duration("migrate-at", 0, "")
+	return fs
+}
+
+func parse(t *testing.T, args ...string) *flag.FlagSet {
+	t.Helper()
+	fs := newFlags()
+	if err := fs.Parse(args); err != nil {
+		t.Fatalf("parse %v: %v", args, err)
+	}
+	return fs
+}
+
+func TestFleetHostsDefaultGuard(t *testing.T) {
+	fs := parse(t)
+	if got := fleetHosts(fs, 2); got != 0 {
+		t.Fatalf("defaulted -hosts leaked into fleet: got %d, want 0", got)
+	}
+	fs = parse(t, "-hosts", "2")
+	if got := fleetHosts(fs, 2); got != 2 {
+		t.Fatalf("explicit -hosts 2 ignored: got %d", got)
+	}
+	// Even an explicit value equal to the default counts as explicit —
+	// that is the whole point of Visit over value comparison.
+	fs = parse(t, "-hosts", "500")
+	if got := fleetHosts(fs, 500); got != 500 {
+		t.Fatalf("explicit -hosts 500: got %d", got)
+	}
+}
+
+func TestPlanSettingsModeDependentDefaults(t *testing.T) {
+	cases := []struct {
+		name     string
+		args     []string
+		mode     plan.Mode
+		conc     int
+		wantErr  bool
+		modeFlag string
+		concFlag int
+	}{
+		{name: "warm-default", args: nil, modeFlag: "warm", concFlag: 0, mode: plan.ModeWarm, conc: 2},
+		{name: "cold-default", args: []string{"-plan-mode", "cold"}, modeFlag: "cold", concFlag: 0, mode: plan.ModeCold, conc: 1},
+		{name: "explicit-conc", args: []string{"-plan-concurrency", "4"}, modeFlag: "warm", concFlag: 4, mode: plan.ModeWarm, conc: 4},
+		{name: "explicit-conc-cold", args: []string{"-plan-mode", "cold", "-plan-concurrency", "3"}, modeFlag: "cold", concFlag: 3, mode: plan.ModeCold, conc: 3},
+		{name: "bad-mode", args: []string{"-plan-mode", "tepid"}, modeFlag: "tepid", concFlag: 0, wantErr: true},
+		{name: "zero-conc-explicit", args: []string{"-plan-concurrency", "0"}, modeFlag: "warm", concFlag: 0, wantErr: true},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			fs := parse(t, c.args...)
+			mode, conc, err := planSettings(fs, c.modeFlag, c.concFlag)
+			if c.wantErr {
+				if err == nil {
+					t.Fatalf("planSettings(%v) = %v/%d, want error", c.args, mode, conc)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("planSettings(%v): %v", c.args, err)
+			}
+			if mode != c.mode || conc != c.conc {
+				t.Fatalf("planSettings(%v) = %v/%d, want %v/%d", c.args, mode, conc, c.mode, c.conc)
+			}
+		})
+	}
+}
+
+func TestExplicitFlagIgnoresOtherFlags(t *testing.T) {
+	fs := parse(t, "-migrate-at", "8s")
+	if explicitFlag(fs, "hosts") {
+		t.Fatal("hosts reported explicit when only -migrate-at was set")
+	}
+	if !explicitFlag(fs, "migrate-at") {
+		t.Fatal("migrate-at not reported explicit")
+	}
+	if d := fs.Lookup("migrate-at").Value.(flag.Getter).Get().(time.Duration); d != 8*time.Second {
+		t.Fatalf("migrate-at parsed as %v", d)
+	}
+}

@@ -33,6 +33,7 @@ import (
 	"pvmigrate/internal/pvm"
 	"pvmigrate/internal/sim"
 	"pvmigrate/internal/trace"
+	"pvmigrate/internal/upvm"
 )
 
 // Config sets one exploration run. The zero value takes the defaults below.
@@ -75,6 +76,11 @@ func (c Config) withDefaults() Config {
 // Scenario is one fault shape whose instants the sweeper slides per seed.
 type Scenario struct {
 	Name string
+	// Warm makes every MPVM migration in the run — including the GS
+	// evacuations the owner changes trigger — use the iterative precopy
+	// protocol instead of stop-and-copy, so the fault instants sweep
+	// across precopy rounds and the cutover window.
+	Warm bool
 	// Build draws the seed's fault schedule and owner-activity changes from
 	// one timing stream (derived from the run seed, independent of the
 	// kernel tie-break stream), so correlated instants — a crash offset
@@ -87,6 +93,12 @@ type Scenario struct {
 	// It draws from the same timing stream as Build, after it, so its
 	// instants stay correlated with the fault schedule across a sweep.
 	ADMSignals func(cfg Config, rng *sim.RNG, owners []OwnerChange) []ADMSignal
+	// ULPMoves, when non-nil, enables the UPVM overlay: one ULP per
+	// non-zero host computes beside the ft job, and the returned moves
+	// drive the UPVM hand-off protocol (flush barrier and all) across the
+	// faults Build installed. Draws from the same timing stream, after
+	// ADMSignals.
+	ULPMoves func(cfg Config, rng *sim.RNG, faults []ft.Fault) []ULPMove
 }
 
 // OwnerChange flips a host's owner-active state at a virtual instant.
@@ -103,6 +115,15 @@ type ADMSignal struct {
 	Slave  int
 	Kind   string
 	Reason core.MigrationReason
+}
+
+// ULPMove orders ULP ULP to host Dest at a virtual instant. Moves that
+// cannot start (ULP already migrating, finished, or on Dest) are part of
+// the swept schedule, not errors.
+type ULPMove struct {
+	At   sim.Time
+	ULP  int
+	Dest int
 }
 
 // Result is one explored schedule plus the handles the checkers audit.
@@ -131,6 +152,14 @@ type Result struct {
 	ADMLoss   float64
 	ADMMoves  int
 
+	// UPVM overlay outcome (ULPActive only when the scenario enables it).
+	ULPActive bool
+	ULPCount  int // ULPs started
+	ULPDone   int // ULPs whose body finished
+	ULPMoved  int // completed ULP migrations
+	ULPAborts int // flush barriers that timed out and reverted
+	ULPSys    *upvm.System
+
 	// Faults actually installed (time-ordered), for failure reports.
 	Faults []ft.Fault
 }
@@ -149,6 +178,9 @@ type Fingerprint struct {
 	ADMDone    bool
 	ADMMoves   int
 	ADMLoss    uint64
+	ULPDone    int
+	ULPMoved   int
+	ULPAborts  int
 }
 
 // Fingerprint builds the run's determinism fingerprint.
@@ -168,6 +200,9 @@ func (r *Result) Fingerprint() Fingerprint {
 		ADMDone:    r.ADMDone,
 		ADMMoves:   r.ADMMoves,
 		ADMLoss:    math.Float64bits(r.ADMLoss),
+		ULPDone:    r.ULPDone,
+		ULPMoved:   r.ULPMoved,
+		ULPAborts:  r.ULPAborts,
 	}
 }
 
@@ -193,6 +228,9 @@ func Run(sc Scenario, cfg Config) *Result {
 	cl := cluster.New(k, netsim.Params{}, specs...)
 	m := pvm.NewMachine(cl, pvm.Config{})
 	sys := mpvm.New(m, mpvm.Config{})
+	if sc.Warm {
+		sys.SetWarmByDefault(true)
+	}
 	log := &trace.Log{}
 	mgr := ft.NewManager(sys, ft.Config{CheckpointEvery: cfg.CheckpointEvery}, log)
 	det := ft.StartHeartbeats(cl, 0, mgr.Config().HeartbeatInterval)
@@ -212,6 +250,10 @@ func Run(sc Scenario, cfg Config) *Result {
 	}
 	if sc.ADMSignals != nil {
 		admSignals = sc.ADMSignals(cfg, rng, owners)
+	}
+	var ulpMoves []ULPMove
+	if sc.ULPMoves != nil {
+		ulpMoves = sc.ULPMoves(cfg, rng, faults)
 	}
 	inj := ft.NewInjector(m, log)
 	inj.OnFault(mgr.ObserveFault)
@@ -243,6 +285,11 @@ func Run(sc Scenario, cfg Config) *Result {
 			lastEvent = as.At
 		}
 	}
+	for _, mv := range ulpMoves {
+		if mv.At > lastEvent {
+			lastEvent = mv.At
+		}
+	}
 	settleUntil := lastEvent + 3*mgr.Config().SuspectAfter
 
 	res := &Result{Scenario: sc.Name, Seed: cfg.Seed,
@@ -268,9 +315,10 @@ func Run(sc Scenario, cfg Config) *Result {
 	// settle tail), so an ADM overlay still mid-redistribution keeps the
 	// kernel alive.
 	res.ADMActive = sc.ADMSignals != nil
-	ftDone, admDone := false, !res.ADMActive
+	res.ULPActive = sc.ULPMoves != nil
+	ftDone, admDone, ulpDone := false, !res.ADMActive, !res.ULPActive
 	tryStop := func() {
-		if !ftDone || !admDone {
+		if !ftDone || !admDone || !ulpDone {
 			return
 		}
 		stopAt := k.Now() + 2*time.Second
@@ -308,8 +356,21 @@ func Run(sc Scenario, cfg Config) *Result {
 			return res
 		}
 	}
+	if res.ULPActive {
+		if err := startULPOverlay(k, m, cfg, res, ulpMoves, func() {
+			ulpDone = true
+			tryStop()
+		}); err != nil {
+			res.Err = err
+			return res
+		}
+	}
 	sched.Start()
 	k.RunUntil(cfg.Deadline)
+
+	if res.ULPSys != nil {
+		res.ULPMoved = len(res.ULPSys.Records())
+	}
 
 	out := job.Out()
 	res.Done = out.Done
@@ -381,6 +442,60 @@ func startADMOverlay(k *sim.Kernel, m *pvm.Machine, cfg Config, res *Result,
 			if t := slaveTasks[s.Slave]; !t.Exited() {
 				adm.Signal(t, adm.Event{Kind: s.Kind, Reason: s.Reason})
 			}
+		})
+	}
+	return nil
+}
+
+// startULPOverlay spawns a UPVM application beside the ft job: one ULP per
+// non-zero host (ULP rank r on host r+1), each grinding through compute
+// bursts sized to span the fault windows. The scenario's moves drive the
+// UPVM hand-off protocol — capture, flush barrier, transfer, accept —
+// across whatever faults Build installed; the bounded flush barrier is
+// what keeps a move issued into a partition from wedging the overlay (and
+// losing the ULP) forever.
+func startULPOverlay(k *sim.Kernel, m *pvm.Machine, cfg Config, res *Result,
+	moves []ULPMove, onDone func()) error {
+	usys := upvm.New(m, upvm.Config{})
+	res.ULPSys = usys
+	res.ULPCount = cfg.Hosts - 1
+	usys.SetTracer(func(actor, stage, detail string) {
+		if stage == "2:flush-abort" {
+			res.ULPAborts++
+		}
+	})
+	usys.OnPlacement(func(ulpID, host int) {
+		if host != -1 {
+			return
+		}
+		res.ULPDone++
+		if res.ULPDone == res.ULPCount {
+			onDone()
+		}
+	})
+	specs := make([]upvm.ULPSpec, res.ULPCount)
+	for i := range specs {
+		specs[i] = upvm.ULPSpec{Host: i + 1, DataBytes: 200_000}
+	}
+	_, err := usys.Start("chaos-ulp", specs, func(u *upvm.ULP, rank int) {
+		// ~12 virtual seconds of work before CPU sharing with the ft job
+		// stretches it, in one-second bursts so migration pauses land
+		// mid-compute wherever the sweep puts them.
+		for i := 0; i < 12; i++ {
+			if err := u.Compute(u.Host().Spec().Speed); err != nil {
+				return
+			}
+		}
+	})
+	if err != nil {
+		return err
+	}
+	for _, mv := range moves {
+		mv := mv
+		k.ScheduleAt(mv.At, func() {
+			// A refused move (ULP mid-migration, finished, or already on
+			// Dest) is part of the swept schedule.
+			_ = usys.Migrate(mv.ULP, mv.Dest, core.ReasonOwnerReclaim)
 		})
 	}
 	return nil

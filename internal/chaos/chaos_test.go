@@ -2,6 +2,7 @@ package chaos
 
 import (
 	"flag"
+	"fmt"
 	"testing"
 
 	"pvmigrate/internal/core"
@@ -205,6 +206,103 @@ func TestADMRedistributionRacesMigration(t *testing.T) {
 	}
 	if !sawRace {
 		t.Error("no seed in the range ever ran a redistribution concurrent with a migration")
+	}
+}
+
+// TestCrashMidPrecopySweepsAbortArc pins the acceptance shape of the warm
+// scenario across a seed range: evacuations run the iterative-precopy
+// protocol (every completed record is warm with at least one round), the
+// crash actually disrupts some schedules (record counts vary across the
+// sweep), and the accounting invariant holds everywhere — an aborted
+// precopy contributes zero records, a completed one exactly one, never a
+// double-count no matter where the crash lands in the precopy arc.
+func TestCrashMidPrecopySweepsAbortArc(t *testing.T) {
+	seeds := 40
+	if testing.Short() {
+		seeds = 10
+	}
+	minRecs, maxRecs := 1<<30, -1
+	for seed := 0; seed < seeds; seed++ {
+		res := audit(t, CrashMidPrecopy, uint64(seed), false)
+		if t.Failed() {
+			t.Fatalf("seed %d failed audit", seed)
+		}
+		recs := res.Sys.Records()
+		seen := map[string]bool{}
+		for _, rec := range recs {
+			if rec.Mode != core.MigrationWarm {
+				t.Fatalf("seed %d: cold record in a warm-by-default run: %+v", seed, rec)
+			}
+			if rec.Rounds < 1 || rec.Frozen == 0 || rec.Downtime() <= 0 {
+				t.Fatalf("seed %d: warm record missing precopy accounting: %+v", seed, rec)
+			}
+			key := fmt.Sprintf("%v@%d", rec.VP, rec.Start)
+			if seen[key] {
+				t.Fatalf("seed %d: migration %s recorded twice: %+v", seed, key, recs)
+			}
+			seen[key] = true
+		}
+		if len(recs) < minRecs {
+			minRecs = len(recs)
+		}
+		if len(recs) > maxRecs {
+			maxRecs = len(recs)
+		}
+	}
+	if maxRecs == 0 {
+		t.Error("no seed in the range ever completed a warm evacuation migration")
+	}
+	if minRecs == maxRecs {
+		t.Errorf("every seed completed exactly %d migrations — the crash never disrupted the precopy arc", maxRecs)
+	}
+}
+
+// TestULPHandoffPartitionAbortsAndRecovers pins the acceptance shape of
+// the UPVM scenario across a seed range: hand-offs issued into the
+// partition must abort via the bounded flush barrier in some seeds,
+// hand-offs must complete in some seeds (including post-heal retries in
+// the same run as an abort), every completed hand-off is recorded exactly
+// once, and — the liveness point of the roadmap item — no schedule ever
+// strands a ULP: the overlay finishes all its ULPs in every seed (audited
+// by the liveness checker).
+func TestULPHandoffPartitionAbortsAndRecovers(t *testing.T) {
+	seeds := 40
+	if testing.Short() {
+		seeds = 10
+	}
+	sawAbort, sawMove, sawAbortThenRecover := false, false, false
+	for seed := 0; seed < seeds; seed++ {
+		res := audit(t, ULPHandoffUnderPartition, uint64(seed), false)
+		if t.Failed() {
+			t.Fatalf("seed %d failed audit", seed)
+		}
+		if res.ULPAborts > 0 {
+			sawAbort = true
+		}
+		if res.ULPMoved > 0 {
+			sawMove = true
+		}
+		if res.ULPAborts > 0 && res.ULPMoved > 0 {
+			sawAbortThenRecover = true
+		}
+		seen := map[string]bool{}
+		for _, rec := range res.ULPSys.Records() {
+			key := fmt.Sprintf("%v@%d", rec.VP, rec.Start)
+			if seen[key] {
+				t.Fatalf("seed %d: ULP hand-off %s recorded twice (accept not idempotent): %+v",
+					seed, key, res.ULPSys.Records())
+			}
+			seen[key] = true
+		}
+	}
+	if !sawAbort {
+		t.Error("no seed in the range ever aborted a flush barrier — scenario not reaching the partition window")
+	}
+	if !sawMove {
+		t.Error("no seed in the range ever completed a ULP hand-off")
+	}
+	if !sawAbortThenRecover {
+		t.Error("no seed both aborted and completed a hand-off — the post-heal retry path went unexercised")
 	}
 }
 

@@ -56,6 +56,9 @@ func checkLiveness(r *Result) error {
 			return fmt.Errorf("ADM overlay did not finish")
 		}
 	}
+	if r.ULPActive && r.ULPDone != r.ULPCount {
+		return fmt.Errorf("ULP overlay finished %d/%d ULPs (hand-off wedged?)", r.ULPDone, r.ULPCount)
+	}
 	return nil
 }
 

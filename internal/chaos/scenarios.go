@@ -140,8 +140,89 @@ var ADMRedistributionRacingMigration = Scenario{
 	},
 }
 
+// CrashMidPrecopy reclaims a host — evacuating it through the *warm*
+// iterative-precopy protocol — and crashes a host a sweep-chosen beat
+// later. A coin flip picks the migration source itself (the reclaimed
+// host, killing the precopy stream between rounds or during cutover) or
+// another host (often a precopy destination, forcing abort-to-source while
+// the task still runs there). The crash offset sweeps the whole precopy
+// arc: round 0's bulk transfer, the dirty-delta rounds, the freeze, and
+// the post-cutover tail. The accounting invariant under audit: an aborted
+// precopy contributes exactly zero migration records, a completed one
+// exactly one, no matter where the crash lands.
+var CrashMidPrecopy = Scenario{
+	Name: "crash-mid-precopy",
+	Warm: true,
+	Build: func(cfg Config, rng *sim.RNG) ([]ft.Fault, []OwnerChange) {
+		reclaimAt := within(rng, 4*time.Second, 8*time.Second)
+		reclaimed := pickHost(rng, cfg.Hosts, -1)
+		crashed := reclaimed
+		if rng.Float64() < 0.5 {
+			crashed = pickHost(rng, cfg.Hosts, reclaimed)
+		}
+		crashAt := reclaimAt + within(rng, 0, 3*time.Second)
+		faults := []ft.Fault{{At: crashAt, Kind: ft.HostCrash, Host: crashed}}
+		owners := []OwnerChange{{At: reclaimAt, Host: reclaimed, Active: true}}
+		return faults, owners
+	},
+}
+
+// ULPHandoffUnderPartition runs a UPVM overlay beside the ft job and
+// drives ULP hand-offs into a network partition. A hand-off issued while
+// a peer is partitioned away cannot complete its flush barrier — the
+// flush datagram is dropped, the ack never comes — so the bounded barrier
+// must abort and revert the captured ULP to its source instead of wedging
+// the overlay forever. A post-heal move checks that a fresh barrier is
+// not corrupted by stale acks from the aborted one. The move offsets
+// sweep from before the partition (clean hand-off) to deep inside it
+// (guaranteed abort).
+var ULPHandoffUnderPartition = Scenario{
+	Name: "ulp-handoff-under-partition",
+	Build: func(cfg Config, rng *sim.RNG) ([]ft.Fault, []OwnerChange) {
+		partAt := within(rng, 4*time.Second, 9*time.Second)
+		host := pickHost(rng, cfg.Hosts, -1)
+		groups := map[netsim.HostID]int{netsim.HostID(host): 1}
+		healAt := partAt + within(rng, 3*time.Second, 12*time.Second)
+		faults := []ft.Fault{
+			{At: partAt, Kind: ft.LinkPartition, Groups: groups},
+			{At: healAt, Kind: ft.LinkHeal},
+		}
+		return faults, nil
+	},
+	ULPMoves: func(cfg Config, rng *sim.RNG, faults []ft.Fault) []ULPMove {
+		partAt, healAt := faults[0].At, faults[1].At
+		var cut int
+		for h := range faults[0].Groups {
+			cut = int(h)
+		}
+		// ULP rank r lives on host r+1. A mover on a connected host: its
+		// flush still needs the cut host's ack, so a move inside the
+		// window aborts even though source and destination can talk.
+		src := pickHost(rng, cfg.Hosts, cut)
+		dst := pickHost(rng, cfg.Hosts, src)
+		moves := []ULPMove{{
+			At:  partAt + within(rng, -2*time.Second, 3*time.Second),
+			ULP: src - 1, Dest: dst,
+		}}
+		// The cut host's own ULP: every flush it sends is dropped, so a
+		// move in the window aborts with zero acks.
+		moves = append(moves, ULPMove{
+			At:  partAt + within(rng, 0, 3*time.Second),
+			ULP: cut - 1, Dest: pickHost(rng, cfg.Hosts, cut),
+		})
+		// Post-heal retry of the first mover: a fresh barrier that must
+		// complete on its own acks, not the aborted round's stale ones.
+		moves = append(moves, ULPMove{
+			At:  healAt + within(rng, time.Second, 4*time.Second),
+			ULP: src - 1, Dest: dst,
+		})
+		return moves
+	},
+}
+
 // Scenarios is the sweep set, in the order the roadmap names them.
-var Scenarios = []Scenario{ReclaimDuringRollback, CrashDuringEvacuation, SplitBrainRejoin, ADMRedistributionRacingMigration}
+var Scenarios = []Scenario{ReclaimDuringRollback, CrashDuringEvacuation, SplitBrainRejoin,
+	ADMRedistributionRacingMigration, CrashMidPrecopy, ULPHandoffUnderPartition}
 
 // ScenarioByName returns the named scenario, or false.
 func ScenarioByName(name string) (Scenario, bool) {

@@ -79,10 +79,38 @@ type MigrationRecord struct {
 	OffSource    sim.Time // all state off the source host
 	Reintegrated sim.Time // VP participating in the computation again
 	StateBytes   int      // VP state transferred
+
+	// Warm (iterative precopy) migration measurements. Mode is "" or
+	// MigrationCold for stop-and-copy records; a MigrationWarm record adds
+	// the precopy round count, the bytes streamed before cutover, and the
+	// instant the victim froze for the final delta.
+	Mode         MigrationMode
+	Rounds       int      // precopy rounds before the cutover round
+	PrecopyBytes int      // bytes streamed while the task kept running
+	Frozen       sim.Time // victim stopped for the cutover round
 }
+
+// MigrationMode distinguishes stop-and-copy from iterative precopy.
+type MigrationMode string
+
+// Migration modes.
+const (
+	MigrationCold MigrationMode = "cold"
+	MigrationWarm MigrationMode = "warm"
+)
 
 // Obtrusiveness returns the paper's obtrusiveness measure for the record.
 func (r MigrationRecord) Obtrusiveness() sim.Time { return r.OffSource - r.Start }
 
 // Cost returns the paper's migration-cost measure for the record.
 func (r MigrationRecord) Cost() sim.Time { return r.Reintegrated - r.Start }
+
+// Downtime returns how long the VP was stopped: from the freeze instant to
+// reintegration. Cold records predating the warm protocol (zero Frozen)
+// report the off-source window instead, the closest stop-and-copy analogue.
+func (r MigrationRecord) Downtime() sim.Time {
+	if r.Frozen == 0 {
+		return r.Reintegrated - r.OffSource
+	}
+	return r.Reintegrated - r.Frozen
+}

@@ -133,6 +133,10 @@ type Fleet struct {
 	epoch     uint64
 	scratch   []byte
 	tickFn    func()
+
+	// evacuator, when set, replaces target.EvacuateHost for whole-host
+	// evacuations (see SetEvacuator).
+	evacuator func(host int, reason core.MigrationReason) (int, error)
 }
 
 // NewFleet creates a fleet scheduler over the cluster driving target.
@@ -230,8 +234,20 @@ func (f *Fleet) Evacuate(host int, reason core.MigrationReason) {
 	f.evacuate(host, reason)
 }
 
+// SetEvacuator overrides how whole-host evacuations are actuated, exactly
+// as Scheduler.SetEvacuator: fn (e.g. a plan.Executor launching a staged
+// warm evacuation) replaces the target's inline EvacuateHost loop. Pass
+// nil to restore the target loop.
+func (f *Fleet) SetEvacuator(fn func(host int, reason core.MigrationReason) (int, error)) {
+	f.evacuator = fn
+}
+
 func (f *Fleet) evacuate(host int, reason core.MigrationReason) {
-	moved, err := f.target.EvacuateHost(host, reason)
+	evac := f.target.EvacuateHost
+	if f.evacuator != nil {
+		evac = f.evacuator
+	}
+	moved, err := evac(host, reason)
 	f.decisions = append(f.decisions, Decision{
 		At: f.k.Now(), Host: host, Dest: -1,
 		Reason: reason, Moved: moved, Err: err,

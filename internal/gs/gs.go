@@ -70,6 +70,10 @@ type Scheduler struct {
 	decisions []Decision
 	stopped   bool
 
+	// evacuator, when set, replaces target.EvacuateHost for whole-host
+	// evacuations (see SetEvacuator).
+	evacuator func(host int, reason core.MigrationReason) (int, error)
+
 	// failure detection (failure.go)
 	hb   HeartbeatSource
 	dead map[int]bool
@@ -153,9 +157,22 @@ func (s *Scheduler) pollOnce() {
 	})
 }
 
+// SetEvacuator overrides how whole-host evacuations are actuated: instead
+// of the target's inline EvacuateHost loop, fn is invoked (e.g. a
+// plan.Executor launching a staged warm evacuation plan) and reports how
+// many moves it commanded. Pass nil to restore the target loop. The
+// rebalancing path (MoveOne) is unaffected.
+func (s *Scheduler) SetEvacuator(fn func(host int, reason core.MigrationReason) (int, error)) {
+	s.evacuator = fn
+}
+
 // evacuate clears guest work off a host.
 func (s *Scheduler) evacuate(host int, reason core.MigrationReason) {
-	moved, err := s.target.EvacuateHost(host, reason)
+	evac := s.target.EvacuateHost
+	if s.evacuator != nil {
+		evac = s.evacuator
+	}
+	moved, err := evac(host, reason)
 	s.decisions = append(s.decisions, Decision{
 		At: s.cl.Kernel().Now(), Host: host, Dest: -1,
 		Reason: reason, Moved: moved, Err: err,

@@ -117,8 +117,12 @@ func runMPVMWithSetup(sc Scenario, setup func(*sim.Kernel, *mpvm.System)) *Outco
 		return out
 	}
 	if sc.MigrateAt > 0 {
+		migrate := sys.Migrate
+		if sc.Warm {
+			migrate = sys.MigrateWarm
+		}
 		k.Schedule(sc.MigrateAt, func() {
-			if merr := sys.Migrate(mts[sc.MigrateSlave].OrigTID(), sc.MigrateTo, "owner-reclaim"); merr != nil && out.Err == nil {
+			if merr := migrate(mts[sc.MigrateSlave].OrigTID(), sc.MigrateTo, "owner-reclaim"); merr != nil && out.Err == nil {
 				out.Err = merr
 			}
 		})

@@ -17,6 +17,7 @@ import (
 	"pvmigrate/internal/mpvm"
 	"pvmigrate/internal/netsim"
 	"pvmigrate/internal/opt"
+	"pvmigrate/internal/plan"
 	"pvmigrate/internal/pvm"
 	"pvmigrate/internal/sim"
 	"pvmigrate/internal/sweep"
@@ -66,6 +67,10 @@ type Scenario struct {
 	MigrateSlave int
 	// MigrateTo is the destination host (default 0).
 	MigrateTo int
+	// Warm selects iterative-precopy (warm) migration for the MigrateAt
+	// event on MPVM runs; cold stop-and-copy otherwise. Other systems
+	// ignore it (UPVM and ADM have no precopy protocol).
+	Warm bool
 	// Direct selects task-to-task TCP routing for data messages.
 	Direct bool
 	// ADMChunk overrides ADMopt's inner-loop chunk size (exemplars between
@@ -304,8 +309,12 @@ func RunMPVM(sc Scenario) *Outcome {
 		return out
 	}
 	if sc.MigrateAt > 0 {
+		migrate := sys.Migrate
+		if sc.Warm {
+			migrate = sys.MigrateWarm
+		}
 		k.Schedule(sc.MigrateAt, func() {
-			if err := sys.Migrate(mts[sc.MigrateSlave].OrigTID(), sc.MigrateTo, core.ReasonOwnerReclaim); err != nil && out.Err == nil {
+			if err := migrate(mts[sc.MigrateSlave].OrigTID(), sc.MigrateTo, core.ReasonOwnerReclaim); err != nil && out.Err == nil {
 				out.Err = err
 			}
 		})
@@ -313,6 +322,61 @@ func RunMPVM(sc Scenario) *Outcome {
 	k.Run()
 	out.Records = sys.Records()
 	return out
+}
+
+// RunMPVMPlan executes the scenario on MPVM and, at MigrateAt, launches a
+// declarative evacuation plan of evacHost — every VP the host runs,
+// destinations picked by the least-loaded placement — instead of a single
+// commanded migration. It returns the outcome and the settled plan result
+// (nil when the run finished before the plan settled).
+func RunMPVMPlan(sc Scenario, evacHost int, mode plan.Mode, concurrency int) (*Outcome, *plan.Result) {
+	sc = sc.withDefaults()
+	k := sim.NewKernel()
+	cl := buildCluster(k, sc.Hosts, sc.Wire)
+	sc.applyBackgroundLoad(cl)
+	m := pvm.NewMachine(cl, pvm.Config{DirectRoute: sc.Direct})
+	sys := mpvm.New(m, mpvm.Config{})
+	out := &Outcome{}
+
+	tids, _, err := spawnMPVMSlaves(sc, sys, out)
+	if err != nil {
+		out.Err = err
+		return out, nil
+	}
+	mp := sc.params()
+	_, err = sys.SpawnMigratable(0, "opt-master", 1<<20, func(mt *mpvm.MTask) {
+		res, err := opt.RunMaster(mt.Task, tids, mp)
+		out.Result = res
+		if err != nil && out.Err == nil {
+			out.Err = err
+		}
+		out.Elapsed = mt.Proc().Now()
+		sc.stopIfOpenEnded(k)
+	})
+	if err != nil {
+		out.Err = err
+		return out, nil
+	}
+	var res *plan.Result
+	if sc.MigrateAt > 0 {
+		ex := plan.NewExecutor(sys, sc.Seed)
+		k.Schedule(sc.MigrateAt, func() {
+			err := ex.Start(plan.Spec{
+				Name: fmt.Sprintf("evac-host%d", evacHost),
+				Groups: []plan.Group{{
+					Name: "evacuate", FromHost: evacHost, Mode: mode,
+					Dest: plan.UnplacedDest, Placement: "least-loaded",
+					Concurrency: concurrency,
+				}},
+			}, func(r plan.Result) { res = &r })
+			if err != nil && out.Err == nil {
+				out.Err = err
+			}
+		})
+	}
+	k.Run()
+	out.Records = sys.Records()
+	return out, res
 }
 
 // RunUPVM executes the SPMD scenario on UPVM: ULP 0 is the master

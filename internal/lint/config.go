@@ -220,7 +220,8 @@ func DefaultConfig() *Config {
 			"pvmigrate/internal/serve": {
 				"Server.ServeHTTP", "Server.Close", "Server.pace",
 				"Server.handleSubmit", "Server.handleJob",
-				"Server.handleMigrate", "Server.handleFault",
+				"Server.handleMigrate", "Server.handlePlan",
+				"Server.handleFault",
 				"Server.handleOwner", "Server.handleRollback",
 				"Server.handleAdvance", "Server.handleTrace",
 				"Server.serveStream",

@@ -33,6 +33,11 @@ func mpvmWireFixtures() []struct {
 		{"skeleton-ready", &skeletonReady{rpc: 11, port: 9001}, "50570134000400000016d28c01"},
 		{"restart-cmd", &restartCmd{orig: vp, oldTID: vp, newTID: core.MakeTID(1, 3)}, "505701350009000000848020848020868040"},
 		{"state-header", &stateHeader{orig: vp, total: 1 << 20}, "50570136000700000084802080808001"},
+		{"warm-migrate-cmd", &warmMigrateCmd{
+			order: core.MigrationOrder{VP: vp, Dest: 1, Reason: core.ReasonOwnerReclaim},
+			orig:  vp, maxRounds: 8, cutoverBytes: 64 << 10,
+		}, "505701370019000000848020020d6f776e65722d7265636c61696d84802010808008"},
+		{"round-header", &roundHeader{orig: vp, round: 3, bytes: 64 << 10, final: false}, "5057013800080000008480200680800800"},
 	}
 }
 

@@ -65,17 +65,32 @@ type Config struct {
 	// the migration and resuming on the source host (the destination may
 	// have crashed after stage 1).
 	SkeletonTimeout sim.Time
+
+	// WarmCutoverBytes is the residual-delta bound for warm (iterative
+	// precopy) migration: once the state dirtied during the last round is
+	// at or below this, the task is frozen and the final delta moves.
+	WarmCutoverBytes int
+	// WarmMaxRounds caps the precopy rounds; a task dirtying faster than
+	// the wire drains is cut over after this many rounds regardless of the
+	// residual.
+	WarmMaxRounds int
+	// WarmDirtyBps is the default dirty rate (bytes of state rewritten per
+	// second of virtual time) for tasks that never call SetDirtyRate.
+	WarmDirtyBps float64
 }
 
 // DefaultConfig returns the fitted cost model.
 func DefaultConfig() Config {
 	return Config{
-		SkeletonStart:   780 * time.Millisecond,
-		TransferChunk:   64 << 10,
-		TransferCopyBps: 12e6,
-		RestartOverhead: 180 * time.Millisecond,
-		CtlBytes:        64,
-		SkeletonTimeout: 5 * time.Second,
+		SkeletonStart:    780 * time.Millisecond,
+		TransferChunk:    64 << 10,
+		TransferCopyBps:  12e6,
+		RestartOverhead:  180 * time.Millisecond,
+		CtlBytes:         64,
+		SkeletonTimeout:  5 * time.Second,
+		WarmCutoverBytes: 64 << 10,
+		WarmMaxRounds:    8,
+		WarmDirtyBps:     1e6,
 	}
 }
 
@@ -98,6 +113,15 @@ func (c Config) withDefaults() Config {
 	}
 	if c.SkeletonTimeout == 0 {
 		c.SkeletonTimeout = d.SkeletonTimeout
+	}
+	if c.WarmCutoverBytes == 0 {
+		c.WarmCutoverBytes = d.WarmCutoverBytes
+	}
+	if c.WarmMaxRounds == 0 {
+		c.WarmMaxRounds = d.WarmMaxRounds
+	}
+	if c.WarmDirtyBps == 0 {
+		c.WarmDirtyBps = d.WarmDirtyBps
 	}
 	return c
 }
@@ -148,6 +172,18 @@ type System struct {
 	// the VP on a recovery host. The scheduler's incremental load index
 	// subscribes here so HostLoad never rescans tasks.
 	placeHooks []func(orig core.TID, host int, task *pvm.Task)
+
+	// recordHooks run once per completed migration, right after its record
+	// is appended; abortHooks run when an in-flight migration is abandoned
+	// (victim exit, abort-to-source, coordinator loss). The plan executor
+	// subscribes to both to learn when a commanded migration settled.
+	recordHooks []func(core.MigrationRecord)
+	abortHooks  []func(orig core.TID)
+
+	// warmByDefault turns every Migrate into a warm precopy migration —
+	// the knob evacuation drivers (gs, chaos) flip to move whole hosts
+	// warm without teaching every intermediate layer a mode parameter.
+	warmByDefault bool
 }
 
 // OnPlacement registers fn to run whenever a VP's placement changes (see
@@ -160,6 +196,46 @@ func (s *System) OnPlacement(fn func(orig core.TID, host int, task *pvm.Task)) {
 func (s *System) notePlacement(orig core.TID, host int, task *pvm.Task) {
 	for _, fn := range s.placeHooks {
 		fn(orig, host, task)
+	}
+}
+
+// OnRecord registers fn to run whenever a migration completes and its
+// record is appended. Hooks run synchronously, in registration order.
+func (s *System) OnRecord(fn func(core.MigrationRecord)) {
+	s.recordHooks = append(s.recordHooks, fn)
+}
+
+// OnAbort registers fn to run whenever an in-flight migration is abandoned
+// without completing (no record is appended for it).
+func (s *System) OnAbort(fn func(orig core.TID)) {
+	s.abortHooks = append(s.abortHooks, fn)
+}
+
+// SetWarmByDefault makes every subsequent Migrate run the warm precopy
+// protocol (precopy.go) instead of stop-and-copy. Evacuation drivers use it
+// to move whole hosts warm through the unchanged gs/ft plumbing.
+func (s *System) SetWarmByDefault(on bool) { s.warmByDefault = on }
+
+// finishMigration appends the record for a completed migration and fires
+// the record hooks — exactly once per migration entry, no matter how many
+// protocol paths (cutover completion, late host-loss handling, a retried
+// confirm) reach it. The recorded guard is the accounting invariant the
+// double-append regression test pins: a migration's bytes and its record
+// land in Records() once or not at all.
+func (s *System) finishMigration(mig *migration, rec core.MigrationRecord) {
+	if mig.recorded {
+		return
+	}
+	mig.recorded = true
+	s.records = append(s.records, rec)
+	for _, fn := range s.recordHooks {
+		fn(rec)
+	}
+}
+
+func (s *System) noteAbort(orig core.TID) {
+	for _, fn := range s.abortHooks {
+		fn(orig)
 	}
 }
 
@@ -191,6 +267,26 @@ type migration struct {
 	// (or were declared dead) mid-flush, so a second loss report for the
 	// same host cannot shrink the barrier twice.
 	discounted map[int]bool
+
+	// warm, when non-nil, switches stages 3–4 to the iterative precopy
+	// protocol (precopy.go) with these parameters.
+	warm *warmParams
+	// recorded guards finishMigration: the record for this migration has
+	// been appended and must never be appended again.
+	recorded bool
+	// Warm bookkeeping, filled by the precopy proc: rounds completed,
+	// bytes streamed before cutover, and the freeze instant.
+	rounds       int
+	precopyBytes int
+	frozen       sim.Time
+	// wake is broadcast whenever warm migration state changes (victim
+	// froze, migration cancelled) so the precopy proc re-examines it.
+	wake *sim.Cond
+	// victimFrozen / released carry the freeze handshake between the
+	// precopy proc and the victim's signal handler.
+	victimFrozen bool
+	released     bool
+	cancelled    bool
 }
 
 func newMigration(order core.MigrationOrder, orig core.TID, srcHost int, start sim.Time, acksWant int) *migration {
@@ -323,6 +419,23 @@ func (s *System) VPIDs() []core.TID {
 	ids := make([]core.TID, 0, len(s.incarnations))
 	for orig := range s.incarnations {
 		ids = append(ids, orig)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// VPsOnHost returns the stable tids of live migratable tasks currently
+// placed on host, in ascending tid order. Evacuation plans use it to turn
+// a FromHost group selector into a concrete victim list.
+func (s *System) VPsOnHost(host int) []core.TID {
+	var ids []core.TID
+	for orig, mt := range s.tasks {
+		if mt.Exited() || mt.orphaned {
+			continue
+		}
+		if int(mt.Host().ID()) == host {
+			ids = append(ids, orig)
+		}
 	}
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	return ids

@@ -36,6 +36,14 @@ type MTask struct {
 	migrating bool
 	memMB     int // physical memory reserved on the current host
 
+	// dirtyBps models how fast the task rewrites its own state (bytes per
+	// second of virtual time), driving the warm protocol's per-round
+	// residual estimate; -1 means "never set", falling back to the system's
+	// WarmDirtyBps. dirtyMarks accumulates explicit MarkDirty declarations
+	// and is drained by the precopy proc at each round boundary.
+	dirtyBps   float64
+	dirtyMarks int
+
 	// orphaned marks an incarnation fenced off by failure handling: its host
 	// went silent and a replacement may be (or has been) respawned. An
 	// orphan may still be running on a partitioned host; it is reaped when
@@ -78,6 +86,7 @@ func (s *System) newMTask(stateBytes int) *MTask {
 	return &MTask{
 		sys:            s,
 		stateBytes:     stateBytes,
+		dirtyBps:       -1,
 		tidMap:         make(map[core.TID]core.TID),
 		revMap:         make(map[core.TID]core.TID),
 		tidHistoryNext: make(map[core.TID]core.TID),
@@ -109,6 +118,23 @@ func (mt *MTask) SetStateBytes(n int) {
 	// Best effort: a 1994 workstation would start paging rather than
 	// refuse; the model only hard-fails placement at migration time.
 	_ = mt.Host().AllocMem(mt.memMB)
+}
+
+// SetDirtyRate declares how fast this task rewrites its own state, in
+// bytes per second of virtual time. The warm protocol uses it to estimate
+// the residual delta after each precopy round. A rate of 0 models a task
+// whose state is effectively read-only after initialization (one round
+// suffices); an unset rate falls back to Config.WarmDirtyBps.
+func (mt *MTask) SetDirtyRate(bps float64) { mt.dirtyBps = bps }
+
+// MarkDirty declares that n bytes of state were just rewritten — the
+// explicit complement to the SetDirtyRate model, for bursty phases. Marks
+// accumulate and are charged to the precopy round in progress (or the
+// first round, if no migration is running).
+func (mt *MTask) MarkDirty(n int) {
+	if n > 0 {
+		mt.dirtyMarks += n
+	}
 }
 
 // memMB converts a process-image size to whole megabytes of residency.
@@ -182,6 +208,10 @@ func (mt *MTask) applyRestart(orig, oldCur, newCur core.TID) {
 func (mt *MTask) onSignal(reason any) error {
 	if sig, ok := reason.(migrateSignal); ok {
 		mt.sys.executeMigration(mt, sig)
+		return nil
+	}
+	if sig, ok := reason.(freezeSignal); ok {
+		mt.sys.freezeVictim(mt, sig.mig)
 		return nil
 	}
 	return &sim.Interrupted{Reason: reason}

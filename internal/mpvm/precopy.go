@@ -1,0 +1,344 @@
+package mpvm
+
+import (
+	"fmt"
+
+	"pvmigrate/internal/cluster"
+	"pvmigrate/internal/core"
+	"pvmigrate/internal/netsim"
+	"pvmigrate/internal/pvm"
+	"pvmigrate/internal/sim"
+)
+
+// Warm (iterative precopy) migration. Stop-and-copy freezes the victim for
+// the whole state transfer, so downtime grows linearly with state size —
+// the obtrusiveness the paper's §5 tradeoff discussion warns about. The
+// warm protocol keeps the victim computing while its image streams across
+// in rounds: round 0 carries the full image, each later round carries only
+// the state dirtied during the previous one, and the victim is frozen only
+// for the final delta once the residual falls under WarmCutoverBytes (or
+// WarmMaxRounds caps the chase). The stage-2 flush stays in force across
+// the rounds, so the victim's inbox is quiescent for the cutover; warm
+// shrinks the victim's frozen window, not its peers' blocked-send window.
+
+// warmParams carries the per-migration precopy knobs from the stage-1
+// command into the migration entry.
+type warmParams struct {
+	maxRounds    int
+	cutoverBytes int
+}
+
+// warmMigrateCmd: global scheduler → source mpvmd (stage 1, warm variant).
+type warmMigrateCmd struct {
+	order        core.MigrationOrder
+	orig         core.TID
+	maxRounds    int
+	cutoverBytes int
+}
+
+// roundHeader starts one precopy round on the skeleton TCP connection:
+// bytes of state follow; final marks the post-freeze cutover round, after
+// which the skeleton assumes the state.
+type roundHeader struct {
+	orig  core.TID
+	round int
+	bytes int
+	final bool
+}
+
+// freezeSignal is delivered to the victim at cutover: it stops in its own
+// signal handler until the precopy proc finishes the final round and
+// re-enrolls it on the destination.
+type freezeSignal struct {
+	mig *migration
+}
+
+// MigrateWarm orders an iterative precopy migration of the task known by
+// original tid orig to the dest host. Validation is identical to Migrate;
+// only stages 3–4 differ.
+func (s *System) MigrateWarm(orig core.TID, dest int, reason core.MigrationReason) error {
+	mt, err := s.checkMigratable(orig, dest)
+	if err != nil {
+		return err
+	}
+	return s.migrateChecked(mt, dest, reason, true)
+}
+
+// onWarmMigrateCmd (source mpvmd): stage 1 → start stage 2 by flushing,
+// with the migration entry marked warm so the barrier completes into the
+// precopy proc instead of freezing the victim.
+func (s *System) onWarmMigrateCmd(d *pvm.Daemon, cmd *warmMigrateCmd) {
+	mt, ok := s.tasks[cmd.orig]
+	if !ok || mt.migrating || mt.Exited() {
+		return
+	}
+	mt.migrating = true
+	mig := newMigration(cmd.order, cmd.orig, int(d.Host().ID()), s.m.Kernel().Now(), s.aliveHosts())
+	mig.warm = &warmParams{maxRounds: cmd.maxRounds, cutoverBytes: cmd.cutoverBytes}
+	mig.wake = sim.NewCond(s.m.Kernel())
+	s.migrations[cmd.orig] = mig
+	s.trace(fmt.Sprintf("mpvmd%d", d.Host().ID()), "2:flush", "flush message to all processes (warm)")
+	for h := 0; h < s.m.NHosts(); h++ {
+		d.SendCtl(h, s.cfg.CtlBytes, &pvm.CtlMsg{Kind: "mpvm",
+			Payload: &flushCmd{orig: cmd.orig, srcHost: int(d.Host().ID())}})
+	}
+}
+
+// startPrecopy launches the precopy proc once the stage-2 barrier
+// completes. Unlike the cold path, the victim is NOT signalled: it keeps
+// computing while the proc streams rounds beside it.
+func (s *System) startPrecopy(mt *MTask, mig *migration) {
+	s.m.Kernel().Spawn(fmt.Sprintf("precopy(%v)", mig.orig), func(p *sim.Proc) {
+		s.runPrecopy(p, mt, mig)
+	})
+}
+
+// warmGone reports whether the migration was abandoned underneath the
+// precopy proc (victim exited, coordinator lost, cancel broadcast).
+func (s *System) warmGone(mt *MTask, mig *migration) bool {
+	return mig.cancelled || mt.Exited() || s.migrations[mig.orig] != mig
+}
+
+// abortWarm abandons a precopy migration and resumes the victim on the
+// source host: restore a taken inbox, release a frozen victim, and run the
+// common abort-to-source cancellation (which broadcasts the no-op restart
+// and fires the abort hooks).
+func (s *System) abortWarm(mt *MTask, mig *migration, srcD *pvm.Daemon, inbox []*pvm.Message, why string) {
+	if inbox != nil {
+		mt.RestoreInbox(inbox)
+	}
+	if mig.victimFrozen && !mig.released {
+		mig.released = true
+		mig.wake.Broadcast()
+	}
+	if s.warmGone(mt, mig) {
+		// Already cancelled underneath us; nothing further to unwind.
+		return
+	}
+	s.abortOnSource(mt, srcD, why)
+}
+
+// dirtyRate returns the victim's modelled dirty rate in bytes per second.
+func (s *System) dirtyRate(mt *MTask) float64 {
+	if mt.dirtyBps >= 0 {
+		return mt.dirtyBps
+	}
+	return s.cfg.WarmDirtyBps
+}
+
+// streamRound sends one round header plus its payload over the transfer
+// connection, charging the per-byte copy cost exactly as the cold path
+// does. Returns an error if the connection fails mid-round.
+func (s *System) streamRound(p *sim.Proc, conn *netsim.Conn, srcHost *cluster.Host, hdr *roundHeader) error {
+	if err := conn.Send(p, 64, hdr); err != nil {
+		return err
+	}
+	remaining := hdr.bytes
+	for remaining > 0 {
+		chunk := remaining
+		if chunk > s.cfg.TransferChunk {
+			chunk = s.cfg.TransferChunk
+		}
+		s.m.ChargeCPU(p, srcHost, sim.FromSeconds(float64(chunk)/s.cfg.TransferCopyBps))
+		if err := conn.Send(p, chunk, nil); err != nil {
+			return err
+		}
+		remaining -= chunk
+	}
+	return nil
+}
+
+// runPrecopy runs stages 3–4 of the warm protocol in its own kernel proc,
+// beside the still-running victim.
+func (s *System) runPrecopy(p *sim.Proc, mt *MTask, mig *migration) {
+	destHost := mig.order.Dest
+	srcD := s.m.Daemon(mig.srcHost)
+	if srcD == nil || s.warmGone(mt, mig) {
+		return
+	}
+	srcHost := srcD.Host()
+
+	// Stage 3a: skeleton request, identical to the cold path.
+	rpcID, pend := s.nextRPC()
+	srcD.SendCtl(destHost, s.cfg.CtlBytes, &pvm.CtlMsg{Kind: "mpvm", Payload: &skeletonReq{
+		rpc: rpcID, orig: mt.orig, name: mt.Name(),
+		srcHost: mig.srcHost, bytes: mt.stateBytes,
+	}})
+	s.m.Kernel().Schedule(s.cfg.SkeletonTimeout, func() {
+		s.completeRPC(rpcID, skeletonTimeout{})
+	})
+	for pend.reply == nil {
+		if err := pend.cond.Wait(p); err != nil {
+			delete(s.rpcWait, rpcID)
+			s.abortWarm(mt, mig, srcD, nil, "interrupted awaiting skeleton")
+			return
+		}
+	}
+	ready, ok := pend.reply.(*skeletonReady)
+	if !ok {
+		s.abortWarm(mt, mig, srcD, nil, fmt.Sprintf("no skeleton on host%d within %v", destHost, s.cfg.SkeletonTimeout))
+		return
+	}
+	s.trace("skeleton", "3:skeleton-ready", fmt.Sprintf("listening on host%d:%d", destHost, ready.port))
+
+	conn, err := srcHost.Iface().Dial(p, netsim.HostID(destHost), ready.port)
+	if err != nil {
+		s.abortWarm(mt, mig, srcD, nil, fmt.Sprintf("dial host%d failed: %v", destHost, err))
+		return
+	}
+
+	// Stage 3b: precopy rounds. Round 0 is the full image; each later round
+	// resends what the victim dirtied during the previous one (rate model:
+	// dirtyBps × round duration, plus explicit MarkDirty marks, capped at
+	// the image size — a task cannot dirty more state than it has).
+	toSend := mt.stateBytes
+	mt.dirtyMarks = 0 // marks before round 0 are inside the full image
+	for {
+		if s.warmGone(mt, mig) {
+			conn.Close()
+			s.abortWarm(mt, mig, srcD, nil, "migration cancelled mid-precopy")
+			return
+		}
+		began := p.Now()
+		s.trace(mt.orig.String(), "3:precopy-round",
+			fmt.Sprintf("round %d: %d bytes while task runs", mig.rounds, toSend))
+		if err := s.streamRound(p, conn, srcHost, &roundHeader{
+			orig: mt.orig, round: mig.rounds, bytes: toSend,
+		}); err != nil {
+			conn.Close()
+			s.abortWarm(mt, mig, srcD, nil, fmt.Sprintf("precopy round %d to host%d failed: %v", mig.rounds, destHost, err))
+			return
+		}
+		mig.rounds++
+		mig.precopyBytes += toSend
+		elapsed := p.Now() - began
+		dirtied := int(s.dirtyRate(mt)*elapsed.Seconds()) + mt.dirtyMarks
+		mt.dirtyMarks = 0
+		if dirtied > mt.stateBytes {
+			dirtied = mt.stateBytes
+		}
+		if dirtied <= mig.warm.cutoverBytes || mig.rounds >= mig.warm.maxRounds {
+			toSend = dirtied
+			break
+		}
+		toSend = dirtied
+	}
+
+	// Cutover: freeze the victim (this is where the downtime clock starts),
+	// move the residual delta plus the buffered messages and register
+	// context, and restart on the destination.
+	if s.warmGone(mt, mig) {
+		conn.Close()
+		s.abortWarm(mt, mig, srcD, nil, "migration cancelled at cutover")
+		return
+	}
+	s.trace(mt.orig.String(), "3:cutover", fmt.Sprintf("residual %d bytes ≤ bound after %d rounds; freezing victim", toSend, mig.rounds))
+	mt.Proc().Interrupt(freezeSignal{mig: mig})
+	for !mig.victimFrozen && !s.warmGone(mt, mig) {
+		if err := mig.wake.Wait(p); err != nil {
+			conn.Close()
+			s.abortWarm(mt, mig, srcD, nil, "interrupted awaiting freeze")
+			return
+		}
+	}
+	if s.warmGone(mt, mig) {
+		conn.Close()
+		s.abortWarm(mt, mig, srcD, nil, "victim gone at cutover")
+		return
+	}
+
+	oldTID := mt.Mytid()
+	inbox := mt.TakeInbox()
+	inboxBytes := 0
+	for _, m := range inbox {
+		inboxBytes += m.WireBytes()
+	}
+	const contextBytes = 4 << 10 // registers + signal state + library tables
+	finalBytes := toSend + inboxBytes + contextBytes
+	s.trace(mt.orig.String(), "3:state-transfer", fmt.Sprintf("final delta %d bytes over TCP", finalBytes))
+	if err := s.streamRound(p, conn, srcHost, &roundHeader{
+		orig: mt.orig, round: mig.rounds, bytes: finalBytes, final: true,
+	}); err != nil {
+		conn.Close()
+		s.abortWarm(mt, mig, srcD, inbox, fmt.Sprintf("final delta to host%d failed: %v", destHost, err))
+		return
+	}
+
+	// Confirm-before-detach, exactly as in the cold path: until the
+	// skeleton acknowledges, the source copy is authoritative.
+	if _, err := conn.Recv(p); err != nil {
+		conn.Close()
+		s.abortWarm(mt, mig, srcD, inbox, fmt.Sprintf("no state-assumed confirmation from host%d: %v", destHost, err))
+		return
+	}
+	conn.Close()
+	destD := s.m.Daemon(destHost)
+	if destD == nil || !destD.Host().Alive() {
+		s.abortWarm(mt, mig, srcD, inbox, fmt.Sprintf("host%d died after confirming", destHost))
+		return
+	}
+
+	mt.DetachFromHost()
+	mig.offSource = p.Now()
+	s.trace(mt.orig.String(), "3:off-source", "process image off the source host")
+
+	// Stage 4: re-enroll on the destination, restore state, broadcast.
+	srcHost.FreeMem(mt.memMB)
+	mt.memMB = memMB(mt.stateBytes)
+	_ = destD.Host().AllocMem(mt.memMB)
+	newTID := mt.AttachToHost(destD)
+	s.trace(mt.orig.String(), "4:restart", fmt.Sprintf("re-enrolled as %v; broadcasting restart", newTID))
+	s.m.ChargeCPU(p, mt.Host(), s.cfg.RestartOverhead)
+	mt.RestoreInbox(inbox)
+	mt.tidHistoryNext[oldTID] = newTID
+	s.globalRemap[mt.orig] = newTID
+	for h := 0; h < s.m.NHosts(); h++ {
+		destD.SendCtl(h, s.cfg.CtlBytes, &pvm.CtlMsg{Kind: "mpvm",
+			Payload: &restartCmd{orig: mt.orig, oldTID: oldTID, newTID: newTID}})
+	}
+
+	mt.migrating = false
+	delete(s.migrations, mt.orig)
+	s.finishMigration(mig, core.MigrationRecord{
+		VP:           mt.orig,
+		NewTID:       newTID,
+		From:         mig.srcHost,
+		To:           destHost,
+		Reason:       mig.order.Reason,
+		Start:        mig.start,
+		OffSource:    mig.offSource,
+		Reintegrated: p.Now(),
+		StateBytes:   mig.precopyBytes + finalBytes,
+		Mode:         core.MigrationWarm,
+		Rounds:       mig.rounds,
+		PrecopyBytes: mig.precopyBytes,
+		Frozen:       mig.frozen,
+	})
+	s.trace(mt.orig.String(), "4:reintegrated", "resuming application execution")
+	s.notePlacement(mt.orig, destHost, mt.Task)
+
+	// Release the victim: it resumes its interrupted operation, now on the
+	// destination host.
+	mig.released = true
+	mig.wake.Broadcast()
+}
+
+// freezeVictim runs in the victim's own context when the cutover signal
+// lands: it marks the freeze instant, wakes the precopy proc, and stops
+// until the proc releases it (after reintegration or abort).
+func (s *System) freezeVictim(mt *MTask, mig *migration) {
+	p := mt.Proc()
+	p.MaskInterrupts()
+	defer p.UnmaskInterrupts()
+	if mig.cancelled || mig.released || s.migrations[mig.orig] != mig {
+		return // cutover raced a cancellation; nothing to freeze for
+	}
+	mig.frozen = p.Now()
+	mig.victimFrozen = true
+	mig.wake.Broadcast()
+	for !mig.released {
+		if err := mig.wake.Wait(p); err != nil {
+			return
+		}
+	}
+}

@@ -61,33 +61,60 @@ type stateHeader struct {
 // the source host, exactly as the paper's GS does it. Validation errors
 // (unknown task, incompatible architecture, same host) surface immediately.
 func (s *System) Migrate(orig core.TID, dest int, reason core.MigrationReason) error {
+	mt, err := s.checkMigratable(orig, dest)
+	if err != nil {
+		return err
+	}
+	return s.migrateChecked(mt, dest, reason, s.warmByDefault)
+}
+
+// checkMigratable validates a requested move (shared by Migrate and
+// MigrateWarm) and returns the task on success.
+func (s *System) checkMigratable(orig core.TID, dest int) (*MTask, error) {
 	mt, ok := s.tasks[orig]
 	if !ok {
-		return fmt.Errorf("%w: %v", ErrUnknownTask, orig)
+		return nil, fmt.Errorf("%w: %v", ErrUnknownTask, orig)
 	}
 	if mt.migrating {
-		return fmt.Errorf("%w: %v", ErrAlreadyMoving, orig)
+		return nil, fmt.Errorf("%w: %v", ErrAlreadyMoving, orig)
 	}
 	destD := s.m.Daemon(dest)
 	if destD == nil {
-		return fmt.Errorf("mpvm: no host %d", dest)
+		return nil, fmt.Errorf("mpvm: no host %d", dest)
 	}
 	srcHost := mt.Host()
 	if int(srcHost.ID()) == dest {
-		return fmt.Errorf("%w: %v on host %d", ErrSameHost, orig, dest)
+		return nil, fmt.Errorf("%w: %v on host %d", ErrSameHost, orig, dest)
 	}
 	if !srcHost.MigrationCompatible(destD.Host()) {
-		return fmt.Errorf("%w: %s (%s) → %s (%s)", ErrIncompatible,
+		return nil, fmt.Errorf("%w: %s (%s) → %s (%s)", ErrIncompatible,
 			srcHost.Name(), srcHost.Arch(), destD.Host().Name(), destD.Host().Arch())
 	}
 	destHost := destD.Host()
 	if free := destHost.Spec().MemMB - destHost.MemUsedMB(); free < memMB(mt.stateBytes) {
-		return fmt.Errorf("%w: %s has %d MB free, %v needs %d MB",
+		return nil, fmt.Errorf("%w: %s has %d MB free, %v needs %d MB",
 			ErrNoMemory, destHost.Name(), free, orig, memMB(mt.stateBytes))
 	}
+	return mt, nil
+}
+
+// migrateChecked sends the stage-1 command after Migrate/MigrateWarm
+// validated the move. warm selects the iterative precopy protocol.
+func (s *System) migrateChecked(mt *MTask, dest int, reason core.MigrationReason, warm bool) error {
+	orig := mt.orig
+	srcHost := mt.Host()
 	order := core.MigrationOrder{VP: orig, Dest: dest, Reason: reason}
-	s.trace("GS", "1:migration-event", fmt.Sprintf("migrate %v to host%d (%s)", orig, dest, reason))
 	srcD := s.m.Daemon(int(srcHost.ID()))
+	if warm {
+		s.trace("GS", "1:migration-event", fmt.Sprintf("migrate %v to host%d (%s, warm)", orig, dest, reason))
+		srcD.SendCtl(int(srcHost.ID()), s.cfg.CtlBytes,
+			&pvm.CtlMsg{Kind: "mpvm", Payload: &warmMigrateCmd{
+				order: order, orig: orig,
+				maxRounds: s.cfg.WarmMaxRounds, cutoverBytes: s.cfg.WarmCutoverBytes,
+			}})
+		return nil
+	}
+	s.trace("GS", "1:migration-event", fmt.Sprintf("migrate %v to host%d (%s)", orig, dest, reason))
 	srcD.SendCtl(int(srcHost.ID()), s.cfg.CtlBytes,
 		&pvm.CtlMsg{Kind: "mpvm", Payload: &migrateCmd{order: order, orig: orig}})
 	return nil
@@ -101,6 +128,8 @@ func (s *System) handleCtl(d *pvm.Daemon, c *pvm.CtlMsg) bool {
 	switch p := c.Payload.(type) {
 	case *migrateCmd:
 		s.onMigrateCmd(d, p)
+	case *warmMigrateCmd:
+		s.onWarmMigrateCmd(d, p)
 	case *flushCmd:
 		s.onFlushCmd(d, p)
 	case *flushAck:
@@ -187,6 +216,13 @@ func (s *System) maybeFinishFlush(mig *migration) {
 		mig.onFlushed()
 		return
 	}
+	if mig.warm != nil {
+		// Warm: the victim keeps running; a separate precopy proc streams
+		// rounds beside it and freezes it only at cutover.
+		s.trace(fmt.Sprintf("mpvmd%d", d.Host().ID()), "2:flush-complete", "all acks received; starting precopy")
+		s.startPrecopy(mt, mig)
+		return
+	}
 	// The signal interrupts the process at an arbitrary execution point; if
 	// it is inside the run-time library (interrupts masked) the migration
 	// is deferred until the library call completes.
@@ -211,22 +247,50 @@ func (s *System) onSkeletonReq(d *pvm.Daemon, req *skeletonReq) {
 				return
 			}
 			defer conn.Close()
-			// First segment is the header announcing the total size.
+			// First segment is the header announcing the stream shape: a
+			// stateHeader opens a stop-and-copy transfer, a roundHeader a
+			// warm precopy sequence.
 			seg, err := conn.Recv(p)
 			if err != nil {
 				return
 			}
-			hdr, ok := seg.Payload.(*stateHeader)
-			if !ok {
-				return
-			}
-			got := 0
-			for got < hdr.total {
-				seg, err := conn.Recv(p)
-				if err != nil {
-					return
+			switch hdr := seg.Payload.(type) {
+			case *stateHeader:
+				got := 0
+				for got < hdr.total {
+					seg, err := conn.Recv(p)
+					if err != nil {
+						return
+					}
+					got += seg.Bytes
 				}
-				got += seg.Bytes
+			case *roundHeader:
+				// Warm: absorb rounds (each a header plus its bytes) until
+				// the final cutover round lands.
+				for {
+					got := 0
+					for got < hdr.bytes {
+						seg, err := conn.Recv(p)
+						if err != nil {
+							return
+						}
+						got += seg.Bytes
+					}
+					if hdr.final {
+						break
+					}
+					seg, err := conn.Recv(p)
+					if err != nil {
+						return
+					}
+					next, ok := seg.Payload.(*roundHeader)
+					if !ok {
+						return
+					}
+					hdr = next
+				}
+			default:
+				return
 			}
 			// State assumed: tell the source so it can exit and the task
 			// can restart here.
@@ -243,10 +307,18 @@ func (s *System) onSkeletonReq(d *pvm.Daemon, req *skeletonReq) {
 // restart (old tid = new tid) is broadcast so any sender stalled on the
 // flush flag unblocks instead of waiting forever.
 func (s *System) cancelMigration(orig core.TID, d *pvm.Daemon) {
-	if _, ok := s.migrations[orig]; !ok {
+	mig, ok := s.migrations[orig]
+	if !ok {
 		return
 	}
 	delete(s.migrations, orig)
+	// A warm migration may have a precopy proc mid-round and a victim frozen
+	// at cutover: mark the entry dead and wake both so they unwind.
+	mig.cancelled = true
+	mig.released = true
+	if mig.wake != nil {
+		mig.wake.Broadcast()
+	}
 	if mt := s.tasks[orig]; mt != nil {
 		mt.migrating = false
 	}
@@ -255,6 +327,7 @@ func (s *System) cancelMigration(orig core.TID, d *pvm.Daemon) {
 		d.SendCtl(h, s.cfg.CtlBytes, &pvm.CtlMsg{Kind: "mpvm",
 			Payload: &restartCmd{orig: orig, oldTID: cur, newTID: cur}})
 	}
+	s.noteAbort(orig)
 }
 
 // onRestartCmd (every mpvmd): publish the remap to local tasks and unblock
@@ -295,6 +368,9 @@ func (s *System) executeMigration(mt *MTask, sig migrateSignal) {
 	destHost := mig.order.Dest
 	srcIface := mt.Host().Iface()
 	oldTID := mt.Mytid()
+	// Stop-and-copy downtime starts here: the victim is stopped in its
+	// signal handler for the whole transfer.
+	mig.frozen = p.Now()
 
 	// Stage 3a: request a skeleton on the destination host and wait for it
 	// to listen — but not forever: a destination that crashed after stage 1
@@ -405,7 +481,7 @@ func (s *System) executeMigration(mt *MTask, sig migrateSignal) {
 
 	mt.migrating = false
 	delete(s.migrations, mt.orig)
-	rec := core.MigrationRecord{
+	s.finishMigration(mig, core.MigrationRecord{
 		VP:           mt.orig,
 		NewTID:       newTID,
 		From:         int(srcD.Host().ID()),
@@ -415,8 +491,9 @@ func (s *System) executeMigration(mt *MTask, sig migrateSignal) {
 		OffSource:    mig.offSource,
 		Reintegrated: p.Now(),
 		StateBytes:   total,
-	}
+		Mode:         core.MigrationCold,
+		Frozen:       mig.frozen,
+	})
 	s.trace(mt.orig.String(), "4:reintegrated", "resuming application execution")
-	s.records = append(s.records, rec)
 	s.notePlacement(mt.orig, destHost, mt.Task)
 }

@@ -24,6 +24,8 @@ func init() {
 	gob.Register(&skeletonReady{})
 	gob.Register(&restartCmd{})
 	gob.Register(&stateHeader{})
+	gob.Register(&warmMigrateCmd{})
+	gob.Register(&roundHeader{})
 	gob.Register("")
 }
 
@@ -150,6 +152,48 @@ func (c *restartCmd) GobDecode(data []byte) error {
 		return err
 	}
 	*c = restartCmd{orig: w.Orig, oldTID: w.OldTID, newTID: w.NewTID}
+	return nil
+}
+
+type warmMigrateCmdWire struct {
+	Order        core.MigrationOrder
+	Orig         core.TID
+	MaxRounds    int
+	CutoverBytes int
+}
+
+func (c *warmMigrateCmd) GobEncode() ([]byte, error) {
+	return encodeMirror(warmMigrateCmdWire{
+		Order: c.order, Orig: c.orig, MaxRounds: c.maxRounds, CutoverBytes: c.cutoverBytes,
+	})
+}
+
+func (c *warmMigrateCmd) GobDecode(data []byte) error {
+	var w warmMigrateCmdWire
+	if err := decodeMirror(data, &w); err != nil {
+		return err
+	}
+	*c = warmMigrateCmd{order: w.Order, orig: w.Orig, maxRounds: w.MaxRounds, cutoverBytes: w.CutoverBytes}
+	return nil
+}
+
+type roundHeaderWire struct {
+	Orig  core.TID
+	Round int
+	Bytes int
+	Final bool
+}
+
+func (c *roundHeader) GobEncode() ([]byte, error) {
+	return encodeMirror(roundHeaderWire{Orig: c.orig, Round: c.round, Bytes: c.bytes, Final: c.final})
+}
+
+func (c *roundHeader) GobDecode(data []byte) error {
+	var w roundHeaderWire
+	if err := decodeMirror(data, &w); err != nil {
+		return err
+	}
+	*c = roundHeader{orig: w.Orig, round: w.Round, bytes: w.Bytes, final: w.Final}
 	return nil
 }
 

@@ -8,6 +8,7 @@ import (
 	"pvmigrate/internal/errs"
 	"pvmigrate/internal/ft"
 	"pvmigrate/internal/netsim"
+	"pvmigrate/internal/plan"
 	"pvmigrate/internal/sim"
 )
 
@@ -28,6 +29,9 @@ const (
 	// CmdRollback forces the FT manager to roll the opt job back to its
 	// last committed checkpoint.
 	CmdRollback CommandKind = "rollback"
+	// CmdPlan submits a declarative bulk-migration plan (internal/plan):
+	// ordered task groups moved cold or warm under a concurrency budget.
+	CmdPlan CommandKind = "plan"
 )
 
 // MigrateArgs names one manual migration.
@@ -60,6 +64,33 @@ type OwnerArgs struct {
 	Active bool `json:"active"`
 }
 
+// PlanGroup is the wire form of one plan.Group. Pointer fields distinguish
+// "absent" from host 0: a nil Dest means the Placement strategy picks a
+// destination per VP; a nil FromHost means the group names its VPs
+// explicitly.
+type PlanGroup struct {
+	Name string `json:"name,omitempty"`
+	// VPs lists victims by stable tid. Empty means every live VP on
+	// FromHost when the group starts.
+	VPs      []int `json:"vps,omitempty"`
+	FromHost *int  `json:"from_host,omitempty"`
+	// Mode is "cold" (default) or "warm".
+	Mode string `json:"mode,omitempty"`
+	// Dest fixes the destination host; nil lets Placement pick per VP.
+	Dest      *int   `json:"dest,omitempty"`
+	Placement string `json:"placement,omitempty"`
+	// Concurrency caps in-flight migrations in the group (0/1 = staged).
+	Concurrency int `json:"concurrency,omitempty"`
+	// Reason tags the migrations; empty means owner-reclaim.
+	Reason string `json:"reason,omitempty"`
+}
+
+// PlanArgs is the wire form of one plan.Spec.
+type PlanArgs struct {
+	Name   string      `json:"name"`
+	Groups []PlanGroup `json:"groups"`
+}
+
 // Command is one journaled control-plane mutation. Seq and At are stamped
 // by the live daemon; replay verifies At against its own clock, so a
 // journal that drifted (hand-edited, mixed sessions) refuses to replay
@@ -74,6 +105,7 @@ type Command struct {
 	Migrate *MigrateArgs `json:"migrate,omitempty"`
 	Fault   *FaultArgs   `json:"fault,omitempty"`
 	Owner   *OwnerArgs   `json:"owner,omitempty"`
+	Plan    *PlanArgs    `json:"plan,omitempty"`
 }
 
 // Apply executes one command against the live cluster. Every executed
@@ -100,8 +132,10 @@ func (c *Core) Apply(cmd Command) error {
 		err = c.applyOwner(cmd.Owner)
 	case CmdRollback:
 		err = c.inKernel(c.mgr.ForceRollback)
+	case CmdPlan:
+		err = c.applyPlan(cmd.Plan)
 	default:
-		err = errs.Newf(CodeBadRequest, "unknown command kind %q", cmd.Kind)
+		err = errs.Newf(CodeUnknownCommand, "unknown command kind %q", cmd.Kind)
 	}
 	c.history = append(c.history, cmd)
 	c.applied++
@@ -196,6 +230,59 @@ func (c *Core) applyFault(args *FaultArgs) error {
 	}
 	c.inj.Install(ft.Plan{Faults: []ft.Fault{f}})
 	c.k.RunUntil(c.k.Now())
+	return nil
+}
+
+// applyPlan converts the wire form into a plan.Spec, validates it, and
+// hands it to the core's executor. The command succeeds when the plan is
+// accepted; the plan itself settles asynchronously as later advances run
+// the migrations (GET /v1/plans reports progress).
+func (c *Core) applyPlan(args *PlanArgs) error {
+	if args == nil {
+		return errs.New(CodeBadRequest, "plan command carries no args", nil)
+	}
+	spec := plan.Spec{Name: args.Name}
+	for i, g := range args.Groups {
+		pg := plan.Group{
+			Name:        g.Name,
+			FromHost:    plan.UnplacedDest,
+			Mode:        plan.Mode(g.Mode),
+			Dest:        plan.UnplacedDest,
+			Placement:   g.Placement,
+			Concurrency: g.Concurrency,
+			Reason:      core.MigrationReason(g.Reason),
+		}
+		for _, vp := range g.VPs {
+			pg.VPs = append(pg.VPs, core.TID(vp))
+		}
+		if g.FromHost != nil {
+			if err := c.checkHost(*g.FromHost); err != nil {
+				return errs.AddContext(err, "group", i)
+			}
+			pg.FromHost = *g.FromHost
+		}
+		if g.Dest != nil {
+			if err := c.checkHost(*g.Dest); err != nil {
+				return errs.AddContext(err, "group", i)
+			}
+			pg.Dest = *g.Dest
+		}
+		spec.Groups = append(spec.Groups, pg)
+	}
+	if err := spec.Validate(); err != nil {
+		return errs.New(CodeBadRequest, "invalid plan", err)
+	}
+	st := &PlanStatus{ID: len(c.plans) + 1, Name: spec.Name, SubmittedAt: c.k.Now()}
+	err := c.inKernel(func() error {
+		return c.ex.Start(spec, func(r plan.Result) {
+			st.Done = true
+			st.Result = &r
+		})
+	})
+	if err != nil {
+		return errs.New(CodeConflict, "plan rejected", err)
+	}
+	c.plans = append(c.plans, st)
 	return nil
 }
 

@@ -12,6 +12,7 @@ import (
 	"pvmigrate/internal/mpvm"
 	"pvmigrate/internal/netsim"
 	"pvmigrate/internal/opt"
+	"pvmigrate/internal/plan"
 	"pvmigrate/internal/pvm"
 	"pvmigrate/internal/sim"
 	"pvmigrate/internal/trace"
@@ -109,11 +110,24 @@ type Core struct {
 	det   *ft.Detector
 	sched *gs.Scheduler
 	inj   *ft.Injector
+	ex    *plan.Executor
 
 	jobs    []*Job
+	plans   []*PlanStatus
 	history []Command
 	applied int
 	failed  int
+}
+
+// PlanStatus tracks one submitted bulk-migration plan. Done flips (and
+// Result fills) inside the kernel when every group has settled, typically
+// during a later advance.
+type PlanStatus struct {
+	ID          int
+	Name        string
+	SubmittedAt sim.Time
+	Done        bool
+	Result      *plan.Result
 }
 
 // NewCore builds the cluster and starts the GS. wire, when non-nil, routes
@@ -148,9 +162,12 @@ func NewCore(cfg Config, wire netsim.Wire) *Core {
 	inj := ft.NewInjector(m, log)
 	inj.OnFault(mgr.ObserveFault)
 	sched.Start()
+	// The plan executor's only nondeterminism is its placement-probe RNG;
+	// seeding it from the journaled config keeps plan execution replayable.
+	ex := plan.NewExecutor(sys, cfg.Seed)
 	return &Core{
 		cfg: cfg, k: k, cl: cl, m: m, sys: sys, log: log,
-		mgr: mgr, det: det, sched: sched, inj: inj,
+		mgr: mgr, det: det, sched: sched, inj: inj, ex: ex,
 	}
 }
 
@@ -168,6 +185,9 @@ func (c *Core) History() []Command { return append([]Command(nil), c.history...)
 
 // Jobs returns the submitted jobs in submission order.
 func (c *Core) Jobs() []*Job { return append([]*Job(nil), c.jobs...) }
+
+// Plans returns the submitted plans in submission order.
+func (c *Core) Plans() []*PlanStatus { return append([]*PlanStatus(nil), c.plans...) }
 
 // Job returns job id, or nil.
 func (c *Core) Job(id int) *Job {

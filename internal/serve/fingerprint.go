@@ -30,6 +30,21 @@ func (c *Core) Fingerprint() uint64 {
 	for _, r := range c.mgr.Records() {
 		put("rec %+v", r)
 	}
+	// A session without plans folds nothing here, so journals recorded
+	// before the plan command existed keep their fingerprints.
+	for _, p := range c.plans {
+		put("plan %d %s done=%t", p.ID, p.Name, p.Done)
+		if p.Result == nil {
+			continue
+		}
+		put("plan-res moved=%d failed=%d elapsed=%d",
+			p.Result.Moved, p.Result.Failed, int64(p.Result.Elapsed))
+		for _, g := range p.Result.Groups {
+			for _, o := range g.Outcomes {
+				put("plan-out %s %d->%d %s", g.Name, int(o.VP), o.Dest, o.Err)
+			}
+		}
+	}
 	put("ckpt=%d committed=%d", c.mgr.Checkpoints(), c.mgr.CommittedIteration())
 	for _, cm := range c.mgr.Store().Commits() {
 		put("commit %s@%d", cm.Key, cm.Epoch)

@@ -9,13 +9,16 @@ import (
 // Replay re-executes a command log headlessly against a fresh cluster and
 // returns the resulting Core for inspection (fingerprint, trace, jobs).
 // Command-level failures are re-executed faithfully and ignored — the live
-// session journaled them too, and their errors are deterministic — but a
-// CodeReplay error (clock mismatch) means the log does not describe this
-// cluster and aborts.
+// session journaled them too, and their errors are deterministic — but two
+// errors abort: CodeReplay (clock mismatch: the log does not describe this
+// cluster) and CodeUnknownCommand (the journal was written by a newer
+// daemon whose command this build cannot execute; skipping it would
+// silently desynchronize every state and fingerprint after it).
 func Replay(cfg Config, cmds []Command) (*Core, error) {
 	c := NewCore(cfg, nil)
 	for _, cmd := range cmds {
-		if err := c.Apply(cmd); err != nil && errs.Is(err, CodeReplay) {
+		err := c.Apply(cmd)
+		if err != nil && (errs.Is(err, CodeReplay) || errs.Is(err, CodeUnknownCommand)) {
 			return c, err
 		}
 	}

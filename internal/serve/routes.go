@@ -28,6 +28,10 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /v1/migrations", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, s.view(func(c *Core) any { return migrationViews(c) }))
 	})
+	s.mux.HandleFunc("POST /v1/plans", s.handlePlan)
+	s.mux.HandleFunc("GET /v1/plans", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.view(func(c *Core) any { return planViews(c) }))
+	})
 	s.mux.HandleFunc("POST /v1/faults", s.handleFault)
 	s.mux.HandleFunc("POST /v1/owner", s.handleOwner)
 	s.mux.HandleFunc("POST /v1/rollback", s.handleRollback)
@@ -128,6 +132,24 @@ func (s *Server) handleMigrate(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, res)
 }
 
+func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
+	var args PlanArgs
+	if !decode(w, r, &args) {
+		return
+	}
+	res, err := s.mutate(CmdPlan, func(cmd *Command) error {
+		cmd.Plan = &args
+		return nil
+	}, func(c *Core) any {
+		return planView(c.plans[len(c.plans)-1])
+	})
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, res)
+}
+
 func (s *Server) handleFault(w http.ResponseWriter, r *http.Request) {
 	var args FaultArgs
 	if !decode(w, r, &args) {
@@ -220,10 +242,15 @@ type MigrationView struct {
 	From           int                  `json:"from"`
 	To             int                  `json:"to"`
 	Reason         core.MigrationReason `json:"reason"`
+	Mode           core.MigrationMode   `json:"mode"`
 	StartMs        int64                `json:"start_ms"`
 	OffSourceMs    int64                `json:"off_source_ms"`
 	ReintegratedMs int64                `json:"reintegrated_ms"`
+	FrozenMs       int64                `json:"frozen_ms"`
+	DowntimeMs     int64                `json:"downtime_ms"`
 	StateBytes     int                  `json:"state_bytes"`
+	Rounds         int                  `json:"rounds,omitempty"`
+	PrecopyBytes   int                  `json:"precopy_bytes,omitempty"`
 }
 
 func migrationViews(c *Core) []MigrationView {
@@ -232,9 +259,69 @@ func migrationViews(c *Core) []MigrationView {
 	for _, r := range recs {
 		out = append(out, MigrationView{
 			VP: int(r.VP), NewTID: int(r.NewTID), From: r.From, To: r.To,
-			Reason: r.Reason, StartMs: ms(r.Start), OffSourceMs: ms(r.OffSource),
-			ReintegratedMs: ms(r.Reintegrated), StateBytes: r.StateBytes,
+			Reason: r.Reason, Mode: r.Mode,
+			StartMs: ms(r.Start), OffSourceMs: ms(r.OffSource),
+			ReintegratedMs: ms(r.Reintegrated), FrozenMs: ms(r.Frozen),
+			DowntimeMs: ms(r.Downtime()), StateBytes: r.StateBytes,
+			Rounds: r.Rounds, PrecopyBytes: r.PrecopyBytes,
 		})
+	}
+	return out
+}
+
+// PlanView is the wire form of one submitted plan's status.
+type PlanView struct {
+	ID            int             `json:"id"`
+	Name          string          `json:"name"`
+	SubmittedAtMs int64           `json:"submitted_at_ms"`
+	Done          bool            `json:"done"`
+	Moved         int             `json:"moved,omitempty"`
+	Failed        int             `json:"failed,omitempty"`
+	ElapsedMs     int64           `json:"elapsed_ms,omitempty"`
+	Groups        []PlanGroupView `json:"groups,omitempty"`
+}
+
+// PlanGroupView is one settled group of a plan.
+type PlanGroupView struct {
+	Name     string            `json:"name"`
+	Moved    int               `json:"moved"`
+	Failed   int               `json:"failed"`
+	Outcomes []PlanOutcomeView `json:"outcomes"`
+}
+
+// PlanOutcomeView is the fate of one planned migration.
+type PlanOutcomeView struct {
+	VP   int    `json:"vp"`
+	Dest int    `json:"dest"`
+	Err  string `json:"err,omitempty"`
+}
+
+func planView(st *PlanStatus) PlanView {
+	v := PlanView{
+		ID: st.ID, Name: st.Name,
+		SubmittedAtMs: ms(st.SubmittedAt), Done: st.Done,
+	}
+	if st.Result != nil {
+		v.Moved = st.Result.Moved
+		v.Failed = st.Result.Failed
+		v.ElapsedMs = ms(st.Result.Elapsed)
+		for _, g := range st.Result.Groups {
+			gv := PlanGroupView{Name: g.Name, Moved: g.Moved, Failed: g.Failed}
+			for _, o := range g.Outcomes {
+				gv.Outcomes = append(gv.Outcomes, PlanOutcomeView{
+					VP: int(o.VP), Dest: o.Dest, Err: o.Err,
+				})
+			}
+			v.Groups = append(v.Groups, gv)
+		}
+	}
+	return v
+}
+
+func planViews(c *Core) []PlanView {
+	out := make([]PlanView, 0, len(c.plans))
+	for _, st := range c.plans {
+		out = append(out, planView(st))
 	}
 	return out
 }

@@ -63,6 +63,11 @@ const (
 	CodeConflict errs.Code = "serve.conflict"
 	// CodeJournal: the command journal could not be written or parsed.
 	CodeJournal errs.Code = "serve.journal"
+	// CodeUnknownCommand: the command kind is not one this build knows —
+	// on the live path a client bug, on replay a journal written by a newer
+	// daemon. Replay aborts on it rather than silently skipping the
+	// command, which would desynchronize everything after it.
+	CodeUnknownCommand errs.Code = "serve.unknown-command"
 	// CodeReplay: a journal replay diverged from the recorded session.
 	CodeReplay errs.Code = "serve.replay"
 	// CodeShutdown: the daemon is shutting down and accepts no commands.

@@ -186,7 +186,7 @@ func (s *Server) subscribeFrame() (chan StreamEvent, StreamEvent) {
 // request was well-formed, the cluster's state refused it.
 func httpStatus(code errs.Code) int {
 	switch code {
-	case CodeBadRequest:
+	case CodeBadRequest, CodeUnknownCommand:
 		return http.StatusBadRequest
 	case CodeNotFound:
 		return http.StatusNotFound

@@ -62,6 +62,7 @@ type MetricsSnapshot struct {
 	HostsAlive      int   `json:"hosts_alive"`
 	DeadHosts       []int `json:"dead_hosts,omitempty"`
 	Jobs            int   `json:"jobs"`
+	Plans           int   `json:"plans"`
 	Migrations      int   `json:"migrations"`
 	Recoveries      int   `json:"recoveries"`
 	Checkpoints     int   `json:"checkpoints"`
@@ -173,6 +174,7 @@ func (c *Core) Metrics() MetricsSnapshot {
 		HostsAlive:      alive,
 		DeadHosts:       c.sched.DeadHosts(),
 		Jobs:            len(c.jobs),
+		Plans:           len(c.plans),
 		Migrations:      len(c.sys.Records()),
 		Recoveries:      len(c.mgr.Records()),
 		Checkpoints:     c.mgr.Checkpoints(),

@@ -57,18 +57,38 @@ func (p *Process) onCtl(t *pvm.Task, r *core.Reader) {
 		ulpID, _ := r.UpkInt()
 		dest, _ := r.UpkInt()
 		srcHost, _ := r.UpkInt()
+		seq, _ := r.UpkInt()
 		// Future messages for this ULP go straight to the new host —
 		// UPVM's contrast with MPVM's sender blocking.
 		p.locator[ulpID] = dest
-		ack := core.NewBuffer().PkString("flush-ack").PkInt(ulpID)
+		if dest != p.host {
+			// The ULP is headed elsewhere (including an abort revert
+			// pointing back at the source): anything held here for it
+			// follows the new location instead of rotting in pending.
+			if msgs := p.pending[ulpID]; len(msgs) > 0 {
+				delete(p.pending, ulpID)
+				for _, msg := range msgs {
+					p.forward(ulpID, msg)
+				}
+			}
+		}
+		ack := core.NewBuffer().PkString("flush-ack").PkInt(ulpID).PkInt(seq)
 		if err := p.task.Send(p.sys.procs[srcHost].task.Mytid(), tagCtl, ack); err != nil {
 			return // source process gone: the migration it was running died with it
 		}
 	case "flush-ack":
 		ulpID, _ := r.UpkInt()
-		if fs, ok := p.flushWait[ulpID]; ok {
+		seq, _ := r.UpkInt()
+		if fs, ok := p.flushWait[ulpID]; ok && fs.seq == seq {
 			fs.have++
 			fs.cond.Broadcast()
+		}
+	case "accepted":
+		ulpID, _ := r.UpkInt()
+		seq, _ := r.UpkInt()
+		if as, ok := p.ackWait[ulpID]; ok && as.seq == seq {
+			as.have++
+			as.cond.Broadcast()
 		}
 	case "arrived":
 		// The placement marker has drained the dispatcher queue: every
@@ -119,13 +139,14 @@ func (p *Process) runMigration(mp *sim.Proc, u *ULP, dest int, reason core.Migra
 	// Stage 2: flush. Every other process updates its locator (future
 	// messages go to the new host) and acknowledges that in-transit
 	// messages for this ULP have drained.
-	fs := &flushState{want: len(p.sys.procs) - 1, cond: sim.NewCond(p.sys.m.Kernel())}
+	p.flushSeq++
+	fs := &flushState{want: len(p.sys.procs) - 1, seq: p.flushSeq, cond: sim.NewCond(p.sys.m.Kernel())}
 	p.flushWait[u.id] = fs
 	for h, other := range p.sys.procs {
 		if h == p.host {
 			continue
 		}
-		buf := core.NewBuffer().PkString("flush").PkInt(u.id).PkInt(dest).PkInt(p.host)
+		buf := core.NewBuffer().PkString("flush").PkInt(u.id).PkInt(dest).PkInt(p.host).PkInt(fs.seq)
 		if err := p.task.SendAs(mp, other.task.Mytid(), tagCtl, buf); err != nil {
 			// A dead peer holds no in-transit messages to drain; its ack
 			// will never come, so it leaves the barrier.
@@ -133,11 +154,23 @@ func (p *Process) runMigration(mp *sim.Proc, u *ULP, dest int, reason core.Migra
 		}
 	}
 	p.sys.trace(fmt.Sprintf("proc%d", p.host), "2:flush", "flush to all processes; new location published")
+	// A live-but-partitioned peer fails the barrier differently from a
+	// dead one: the flush datagram is dropped silently, the send above
+	// succeeds, and the ack never comes. The wait is therefore bounded;
+	// on expiry the migration aborts and the captured ULP reverts to the
+	// source rather than being lost to a wedged barrier.
+	deadline := mp.Now() + cfg.FlushTimeout
+	wake := p.sys.m.Kernel().ScheduleAt(deadline, fs.cond.Broadcast)
 	for fs.have < fs.want {
+		if mp.Now() >= deadline {
+			p.abortFlush(mp, u, fs)
+			return
+		}
 		if err := fs.cond.Wait(mp); err != nil {
 			return
 		}
 	}
+	wake.Cancel()
 	delete(p.flushWait, u.id)
 	p.sys.trace(fmt.Sprintf("proc%d", p.host), "2:flush-complete", "in-transit messages drained")
 
@@ -160,14 +193,57 @@ func (p *Process) runMigration(mp *sim.Proc, u *ULP, dest int, reason core.Migra
 	// fitted XferBps models the prototype's extra copies and per-send
 	// overhead. Unreceived messages are collected and sent in a separate
 	// operation (paper §4.2.2).
+	//
+	// The barrier passed, so every peer was reachable moments ago — but a
+	// partition can still open mid-transfer and silently swallow chunks,
+	// the fin, or the destination's accept ack. The transfer is therefore
+	// at-least-once: the source retransmits until the destination confirms
+	// acceptance (which is idempotent — exactly one accept, exactly one
+	// record), so a partition that heals can only delay a hand-off, never
+	// strand the captured ULP in limbo.
 	inbox := u.inbox
 	u.inbox = nil
 	segBytes := u.spec.StateBytes()
+	as := &flushState{want: 1, seq: fs.seq, cond: sim.NewCond(p.sys.m.Kernel())}
+	p.ackWait[u.id] = as
+	ackTimeout := sim.FromSeconds(float64(segBytes)/cfg.AcceptBps) + 2*cfg.FlushTimeout
+	for attempt := 0; as.have < as.want; attempt++ {
+		if attempt > 0 {
+			p.sys.trace(fmt.Sprintf("proc%d", p.host), "3:retransmit",
+				fmt.Sprintf("no accept ack for ULP%d; resending state", u.id))
+		}
+		if err := p.sendState(mp, destProc, u, inbox, segBytes, reason, start, fs.seq); err != nil {
+			delete(p.ackWait, u.id)
+			return // destination gone: abandon, like an interrupted transfer
+		}
+		if attempt == 0 {
+			p.sys.trace(fmt.Sprintf("proc%d", p.host), "3:off-source", fmt.Sprintf("ULP%d state off-loaded (pkbyte/send)", u.id))
+			// All ULP state is off the source host: the obtrusiveness
+			// window ends here, even though the destination may not have
+			// received everything (paper §4.2.2).
+		}
+		deadline := mp.Now() + ackTimeout
+		wake := p.sys.m.Kernel().ScheduleAt(deadline, as.cond.Broadcast)
+		for as.have < as.want && mp.Now() < deadline {
+			if err := as.cond.Wait(mp); err != nil {
+				return
+			}
+		}
+		wake.Cancel()
+	}
+	delete(p.ackWait, u.id)
+}
+
+// sendState streams one full copy of the ULP's state — header, segment
+// chunks, unreceived inbox messages, fin — to the destination.
+func (p *Process) sendState(mp *sim.Proc, destProc *Process, u *ULP, inbox []*UMessage,
+	segBytes int, reason core.MigrationReason, start sim.Time, seq int) error {
+	cfg := p.sys.cfg
 	hdr := core.NewBuffer().PkString("hdr").PkInt(u.id).PkInt(segBytes).
 		PkInt(len(inbox)).PkString(string(reason)).
-		PkInt(int(start)).PkInt(p.host)
+		PkInt(int(start)).PkInt(p.host).PkInt(seq)
 	if err := p.task.SendAs(mp, destProc.task.Mytid(), tagXfer, hdr); err != nil {
-		return // destination gone: abandon, like an interrupted transfer
+		return err
 	}
 	remaining := segBytes
 	for remaining > 0 {
@@ -176,33 +252,62 @@ func (p *Process) runMigration(mp *sim.Proc, u *ULP, dest int, reason core.Migra
 			chunk = cfg.XferChunk
 		}
 		if err := mp.Sleep(sim.FromSeconds(float64(chunk) / cfg.XferBps)); err != nil {
-			return
+			return err
 		}
 		buf := core.NewBuffer().PkString("chunk").PkInt(u.id).PkVirtual(chunk)
 		if err := p.task.SendAs(mp, destProc.task.Mytid(), tagXfer, buf); err != nil {
-			return
+			return err
 		}
 		remaining -= chunk
 	}
 	for _, msg := range inbox {
 		if err := mp.Sleep(sim.FromSeconds(float64(msg.Buf.Bytes()) / cfg.XferBps)); err != nil {
-			return
+			return err
 		}
 		srcID, _ := ULPFromTID(msg.Src)
 		buf := core.NewBuffer().PkString("inboxmsg").PkInt(u.id).
 			PkInt(srcID).PkInt(msg.Tag).PkBuffer(msg.Buf)
 		if err := p.task.SendAs(mp, destProc.task.Mytid(), tagXfer, buf); err != nil {
-			return
+			return err
 		}
 	}
 	fin := core.NewBuffer().PkString("fin").PkInt(u.id).PkInt(int(mp.Now()))
-	if err := p.task.SendAs(mp, destProc.task.Mytid(), tagXfer, fin); err != nil {
+	return p.task.SendAs(mp, destProc.task.Mytid(), tagXfer, fin)
+}
+
+// abortFlush reverts a captured ULP after the flush barrier times out.
+// The ULP rejoins the source process's table and resumes where it parked;
+// the location published in stage 1 is retracted by a second flush round
+// pointing back at the source (peers that heard the original re-point and
+// re-forward anything they buffered for the ULP). Acks from either round
+// can still arrive after the abort — the deleted flushWait entry and the
+// barrier seq make them inert. Messages dropped by the partition itself
+// are the application's to handle, like any lost datagram; what the abort
+// guarantees is that the ULP is never lost to a wedged barrier.
+func (p *Process) abortFlush(mp *sim.Proc, u *ULP, fs *flushState) {
+	delete(p.flushWait, u.id)
+	p.locator[u.id] = p.host
+	for h, other := range p.sys.procs {
+		if h == p.host {
+			continue
+		}
+		buf := core.NewBuffer().PkString("flush").PkInt(u.id).PkInt(p.host).PkInt(p.host).PkInt(fs.seq)
+		// Best effort: a peer that misses the retraction keeps routing
+		// via the stale location, and the re-pointed destination forwards
+		// those strays back here.
+		_ = p.task.SendAs(mp, other.task.Mytid(), tagCtl, buf) // lint:reason best-effort retraction: an unreachable peer self-corrects via the destination's forwarding
+	}
+	p.sys.trace(fmt.Sprintf("proc%d", p.host), "2:flush-abort",
+		fmt.Sprintf("flush barrier timed out (%d/%d acks); ULP%d reverted", fs.have, fs.want, u.id))
+	if u.done {
+		u.migrating = false
 		return
 	}
-	p.sys.trace(fmt.Sprintf("proc%d", p.host), "3:off-source", fmt.Sprintf("ULP%d state off-loaded (pkbyte/send)", u.id))
-	// All ULP state is off the source host: the obtrusiveness window ends
-	// here, even though the destination may not have received everything
-	// (paper §4.2.2).
+	p.ulps[u.id] = u
+	p.drainPending(u)
+	u.migrating = false
+	u.resumeCond.Broadcast()
+	u.inboxCond.Broadcast()
 }
 
 // onXfer assembles an inbound ULP at the destination dispatcher.
@@ -219,8 +324,17 @@ func (p *Process) onXfer(t *pvm.Task, r *core.Reader) {
 		reason, _ := r.UpkString()
 		startNs, _ := r.UpkInt()
 		srcHost, _ := r.UpkInt()
+		seq, _ := r.UpkInt()
+		if u := p.sys.ulps[ulpID]; u != nil && u.p == p && !u.migrating {
+			// A retransmission for a ULP already accepted here: the accept
+			// ack was lost. Re-ack and discard the duplicate stream.
+			p.sendAccepted(ulpID, srcHost, seq)
+			return
+		}
+		// A fresh header restarts any partial inbound from a lost attempt.
 		p.inbound[ulpID] = &inboundXfer{
 			total: segBytes,
+			seq:   seq,
 			rec: core.MigrationRecord{
 				VP:         ULPTID(ulpID),
 				NewTID:     ULPTID(ulpID),
@@ -268,12 +382,23 @@ func (p *Process) onXfer(t *pvm.Task, r *core.Reader) {
 // paper measured this prototype step as surprisingly slow (6.88 s migration
 // vs 1.67 s obtrusiveness for 0.6 MB); AcceptBps preserves that behaviour.
 func (p *Process) acceptULP(t *pvm.Task, ulpID int, ix *inboundXfer) {
+	u := p.sys.ulps[ulpID]
+	if u == nil {
+		return
+	}
+	if !u.migrating && u.p == p {
+		// A duplicate fin: an earlier attempt's accept already committed.
+		// Accept exactly once — and exactly one record — just re-ack.
+		p.sendAccepted(ulpID, ix.rec.From, ix.seq)
+		return
+	}
 	cost := sim.FromSeconds(float64(ix.total) / p.sys.cfg.AcceptBps)
 	if err := t.Proc().Sleep(cost); err != nil {
 		return
 	}
-	u := p.sys.ulps[ulpID]
-	if u == nil {
+	if !u.migrating && u.p == p {
+		// Another attempt's accept committed while this one slept.
+		p.sendAccepted(ulpID, ix.rec.From, ix.seq)
 		return
 	}
 	u.p = p
@@ -298,4 +423,12 @@ func (p *Process) acceptULP(t *pvm.Task, ulpID int, ix *inboundXfer) {
 	p.sys.trace(fmt.Sprintf("proc%d", p.host), "4:enqueued", fmt.Sprintf("ULP%d placed in its reserved region and scheduled", ulpID))
 	ix.rec.Reintegrated = p.sys.m.Kernel().Now()
 	p.sys.records = append(p.sys.records, ix.rec)
+	p.sendAccepted(ulpID, ix.rec.From, ix.seq)
+}
+
+// sendAccepted confirms a committed (or already-committed) accept to the
+// source, ending its retransmission loop.
+func (p *Process) sendAccepted(ulpID, srcHost, seq int) {
+	buf := core.NewBuffer().PkString("accepted").PkInt(ulpID).PkInt(seq)
+	_ = p.task.Send(p.sys.procs[srcHost].task.Mytid(), tagCtl, buf) // lint:reason a lost ack is covered by the source's retransmission loop
 }

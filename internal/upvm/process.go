@@ -40,17 +40,29 @@ type Process struct {
 
 	// flush bookkeeping for migrations this process initiated.
 	flushWait map[int]*flushState
+	// flushSeq numbers flush barriers started by this process.
+	flushSeq int
+	// ackWait holds the accept-ack waits of in-flight state transfers this
+	// process initiated (want is always 1: the destination's confirmation).
+	ackWait map[int]*flushState
 }
 
 type flushState struct {
 	want, have int
-	cond       *sim.Cond
+	// seq identifies this barrier generation: an ack carrying a stale seq
+	// (from a barrier that already timed out and aborted) must not be
+	// counted toward a later barrier for the same ULP.
+	seq  int
+	cond *sim.Cond
 }
 
 type inboundXfer struct {
 	total, got int
-	inboxMsgs  []*UMessage
-	rec        core.MigrationRecord
+	// seq is the sending migration's barrier generation, echoed in the
+	// accept ack so the source matches it to the right transfer.
+	seq       int
+	inboxMsgs []*UMessage
+	rec       core.MigrationRecord
 }
 
 // UMessage is a ULP-to-ULP message.
@@ -71,6 +83,7 @@ func newProcess(s *System, host int, name string) (*Process, error) {
 		pending:   make(map[int][]*UMessage),
 		inbound:   make(map[int]*inboundXfer),
 		flushWait: make(map[int]*flushState),
+		ackWait:   make(map[int]*flushState),
 	}
 	p.tokenCh = sim.NewCond(s.m.Kernel())
 	task, err := s.m.Spawn(host, fmt.Sprintf("%s-upvm", name), p.dispatch)

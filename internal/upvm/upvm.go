@@ -94,6 +94,13 @@ type Config struct {
 	AcceptBps float64
 	// CtlBytes sizes protocol control messages.
 	CtlBytes int
+	// FlushTimeout bounds the stage-2 flush barrier. A crashed peer is
+	// detected at send time and leaves the barrier, but a live peer behind
+	// a network partition accepts the datagram loss silently: its ack
+	// never arrives, and an unbounded wait would wedge the migration
+	// forever with the ULP captured — lost to the application. On expiry
+	// the migration aborts and the ULP reverts to the source process.
+	FlushTimeout sim.Time
 	// BoundaryOnly restricts migration points to message-receive
 	// boundaries, the Data Parallel C policy the paper contrasts with
 	// (§5.0: "VP migration is possible only at the beginning or end of
@@ -113,6 +120,7 @@ func DefaultConfig() Config {
 		XferBps:           195e3,
 		AcceptBps:         62e3,
 		CtlBytes:          64,
+		FlushTimeout:      2 * time.Second,
 	}
 }
 
@@ -138,6 +146,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.CtlBytes == 0 {
 		c.CtlBytes = d.CtlBytes
+	}
+	if c.FlushTimeout == 0 {
+		c.FlushTimeout = d.FlushTimeout
 	}
 	return c
 }

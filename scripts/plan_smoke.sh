@@ -1,0 +1,73 @@
+#!/usr/bin/env bash
+# Plan smoke test: drive a warm evacuation plan end to end through the
+# daemon. Build pvmsimd with the race detector, start it with a journal,
+# submit a job, POST a declarative plan that evacuates host 1 through the
+# iterative-precopy (warm) protocol, watch the plan settle and the warm
+# migration records land, shut down cleanly, then replay the journal
+# headlessly and require the replay fingerprint to equal the live
+# session's bit for bit — the plan commands journal and replay like any
+# other mutation.
+set -euo pipefail
+
+ADDR="${ADDR:-127.0.0.1:8091}"
+BASE="http://$ADDR"
+WORK="$(mktemp -d)"
+trap 'kill "$DAEMON_PID" 2>/dev/null || true; rm -rf "$WORK"' EXIT
+
+say() { echo "plan-smoke: $*"; }
+post() { curl -sf -X POST -d "$2" "$BASE$1"; }
+
+say "building pvmsimd (-race)"
+go build -race -o "$WORK/pvmsimd" ./cmd/pvmsimd
+
+say "starting daemon on $ADDR"
+"$WORK/pvmsimd" -addr "$ADDR" -hosts 3 -journal "$WORK/session.jsonl" \
+  -tick-wall 100ms -tick-virtual 100ms >"$WORK/daemon.log" 2>&1 &
+DAEMON_PID=$!
+
+for i in $(seq 1 50); do
+  curl -sf "$BASE/v1/hosts" >/dev/null 2>&1 && break
+  kill -0 "$DAEMON_PID" 2>/dev/null || { cat "$WORK/daemon.log"; exit 1; }
+  sleep 0.1
+done
+
+say "submitting 3-host opt job"
+post /v1/jobs '{"kind":"opt","iterations":40}' | grep -q '"id":1'
+post /v1/advance '{"ms":3000}' >/dev/null
+
+say "submitting warm evacuation plan for host 1"
+post /v1/plans '{"name":"evac-host1","groups":[{"name":"h1","from_host":1,"mode":"warm","placement":"least-loaded","concurrency":1}]}' \
+  >"$WORK/plan.json"
+grep -q '"id":1' "$WORK/plan.json" || { say "plan not accepted"; cat "$WORK/plan.json"; exit 1; }
+
+post /v1/advance '{"ms":600000}' >/dev/null
+
+say "checking plan settled"
+curl -sf "$BASE/v1/plans" >"$WORK/plans.json"
+grep -q '"done":true' "$WORK/plans.json" || { say "plan never settled"; cat "$WORK/plans.json"; exit 1; }
+grep -q '"moved":[1-9]' "$WORK/plans.json" || { say "plan moved nothing"; cat "$WORK/plans.json"; exit 1; }
+
+say "checking warm migration records"
+curl -sf "$BASE/v1/migrations" >"$WORK/migrations.json"
+grep -q '"mode":"warm"' "$WORK/migrations.json" || { say "no warm record"; cat "$WORK/migrations.json"; exit 1; }
+grep -q '"rounds":[1-9]' "$WORK/migrations.json" || { say "warm record has no precopy rounds"; exit 1; }
+curl -sf "$BASE/v1/jobs/1" | grep -q '"done":true' || { say "job did not finish"; exit 1; }
+
+LIVE_FP=$(curl -sf "$BASE/v1/fingerprint" | grep -o '"fingerprint":"[0-9a-f]*"' | cut -d'"' -f4)
+[ -n "$LIVE_FP" ] || { say "no live fingerprint"; exit 1; }
+say "live fingerprint: $LIVE_FP"
+
+say "shutting down"
+post /v1/shutdown '{}' >/dev/null
+wait "$DAEMON_PID"
+STATUS=$?
+DAEMON_PID=""
+[ "$STATUS" -eq 0 ] || { say "daemon exited $STATUS"; cat "$WORK/daemon.log"; exit 1; }
+
+say "replaying the journal headlessly"
+"$WORK/pvmsimd" -replay "$WORK/session.jsonl" >"$WORK/replay.log"
+cat "$WORK/replay.log"
+REPLAY_FP=$(grep '^fingerprint: ' "$WORK/replay.log" | cut -d' ' -f2)
+[ "$REPLAY_FP" = "$LIVE_FP" ] || { say "replay fingerprint $REPLAY_FP != live $LIVE_FP"; exit 1; }
+
+say "OK"
